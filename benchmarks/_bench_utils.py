@@ -1,0 +1,33 @@
+"""Helpers shared by the benchmark modules (see conftest.py for docs)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Case-count multiplier (1 = laptop-quick defaults).
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+#: Base number of cases per topology for the quick benchmarks.
+BASE_CASES = 120 * SCALE
+
+#: Topologies used by the heavier per-figure benchmarks (a representative
+#: sparse/dense pair plus AS209); Table II runs all eight.
+QUICK_TOPOLOGIES = ("AS209", "AS1239", "AS3549")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table/series and persist it under results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_figure(name: str, svg: str) -> None:
+    """Persist a rendered SVG figure under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.svg").write_text(svg)
+    print(f"(figure written: benchmarks/results/{name}.svg)")

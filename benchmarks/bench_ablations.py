@@ -1,0 +1,157 @@
+"""Ablations of RTR's design choices (DESIGN.md §4).
+
+Not in the paper's evaluation, but each corresponds to a design decision
+the paper argues for:
+
+* Constraints 1-2 on vs off — §III-C's whole point: without them the
+  general-graph walk misses failures and the optimal-recovery rate drops;
+* sweep direction — the right-hand rule is direction-symmetric: the mirror
+  sweep must preserve all guarantees;
+* incremental vs full recomputation — §III-D picks incremental for speed;
+  results must be identical.
+"""
+
+import random
+
+from _bench_utils import BASE_CASES, emit
+
+from repro.core import RTRConfig
+from repro.eval import EvaluationRunner, generate_cases, summarize_recoverable
+from repro.eval.report import format_table
+from repro.topology import isp_catalog
+
+TOPOLOGY = "AS209"
+
+
+def _run_variant(case_set, config):
+    runner = EvaluationRunner(
+        case_set.topo,
+        routing=case_set.routing,
+        approaches=("RTR",),
+        rtr_config=config,
+    )
+    records = runner.run(case_set)["RTR"]
+    recs = [r for r in records if r.case.recoverable]
+    return summarize_recoverable(recs)
+
+
+def _case_set():
+    topo = isp_catalog.build(TOPOLOGY, seed=0)
+    return generate_cases(topo, random.Random(21), BASE_CASES, 0)
+
+
+def test_ablation_constraints(run_once):
+    case_set = _case_set()
+
+    def experiment():
+        on = _run_variant(case_set, RTRConfig(use_constraints=True))
+        off = _run_variant(case_set, RTRConfig(use_constraints=False))
+        return on, off
+
+    on, off = run_once(experiment)
+    rows = [
+        {"variant": "constraints ON (paper)", **on.as_dict()},
+        {"variant": "constraints OFF", **off.as_dict()},
+    ]
+    emit("ablation_constraints", format_table(rows))
+    # Both variants remain loop-free and optimal-when-delivered (Theorem 2
+    # does not depend on the constraints).  The constraints exist to make
+    # the walk *enclose* the area on general graphs (Fig. 4) — per-sample
+    # coverage can swing either way, so we assert the invariants, not a
+    # direction; the Fig. 4 qualitative difference is pinned by
+    # tests/core/test_paper_examples.py.
+    assert on.recovery_rate == on.optimal_recovery_rate
+    assert off.recovery_rate == off.optimal_recovery_rate
+    assert on.max_sp_computations == off.max_sp_computations == 1
+    assert abs(on.recovery_rate - off.recovery_rate) < 0.15
+
+
+def test_ablation_sweep_direction(run_once):
+    case_set = _case_set()
+
+    def experiment():
+        ccw = _run_variant(case_set, RTRConfig(clockwise=False))
+        cw = _run_variant(case_set, RTRConfig(clockwise=True))
+        return ccw, cw
+
+    ccw, cw = run_once(experiment)
+    rows = [
+        {"variant": "counterclockwise (paper)", **ccw.as_dict()},
+        {"variant": "clockwise (mirror)", **cw.as_dict()},
+    ]
+    emit("ablation_sweep_direction", format_table(rows))
+    # The mirror sweep preserves the guarantees: loop-free, optimal paths,
+    # one SP calculation, and a recovery rate in the same band.
+    assert cw.recovery_rate == cw.optimal_recovery_rate
+    assert cw.max_sp_computations == 1
+    assert abs(cw.recovery_rate - ccw.recovery_rate) < 0.1
+
+
+def test_ablation_exhaustive_collector(run_once):
+    """The §III-C trade-off: complete collection vs the sweep.
+
+    The exhaustive DFS collector recovers every recoverable case (its
+    information is complete) but pays with much longer walks — which is
+    exactly why the paper chose the boundary sweep.
+    """
+    case_set = _case_set()
+
+    def experiment():
+        def run_with(config):
+            runner = EvaluationRunner(
+                case_set.topo,
+                routing=case_set.routing,
+                approaches=("RTR",),
+                rtr_config=config,
+            )
+            records = runner.run(case_set)["RTR"]
+            recs = [r for r in records if r.case.recoverable]
+            summary = summarize_recoverable(recs)
+            hops = [r.result.phase1_hops for r in recs]
+            return summary, sum(hops) / len(hops), max(hops)
+
+        sweep = run_with(RTRConfig(collector="sweep"))
+        exhaustive = run_with(RTRConfig(collector="exhaustive"))
+        return sweep, exhaustive
+
+    (s_sum, s_mean, s_max), (e_sum, e_mean, e_max) = run_once(experiment)
+    rows = [
+        {
+            "variant": "sweep (paper)",
+            "recovery_pct": round(100 * s_sum.recovery_rate, 1),
+            "mean_walk_hops": round(s_mean, 1),
+            "max_walk_hops": s_max,
+        },
+        {
+            "variant": "exhaustive DFS",
+            "recovery_pct": round(100 * e_sum.recovery_rate, 1),
+            "mean_walk_hops": round(e_mean, 1),
+            "max_walk_hops": e_max,
+        },
+    ]
+    emit("ablation_exhaustive_collector", format_table(rows))
+    # Complete information recovers every recoverable case...
+    assert e_sum.recovery_rate == e_sum.optimal_recovery_rate == 1.0
+    assert e_sum.recovery_rate >= s_sum.recovery_rate
+    # ...at the cost of much longer walks (the paper's stated reason).
+    assert e_mean > s_mean
+
+
+def test_ablation_incremental_vs_full(run_once):
+    case_set = _case_set()
+
+    def experiment():
+        inc = _run_variant(case_set, RTRConfig(use_incremental=True))
+        full = _run_variant(case_set, RTRConfig(use_incremental=False))
+        return inc, full
+
+    inc, full = run_once(experiment)
+    rows = [
+        {"variant": "incremental SPT (paper)", **inc.as_dict()},
+        {"variant": "full Dijkstra", **full.as_dict()},
+    ]
+    emit("ablation_incremental", format_table(rows))
+    # §III-D: the engines must be behaviourally identical.
+    assert inc.recovery_rate == full.recovery_rate
+    assert inc.optimal_recovery_rate == full.optimal_recovery_rate
+    assert inc.max_stretch == full.max_stretch

@@ -1,0 +1,53 @@
+"""Fig. 10 — average transmission overhead over the first second.
+
+Paper claims to reproduce (shape): RTR's overhead peaks while first-phase
+packets carry the growing failed/cross-link lists, decreases as cases
+enter the second phase, and converges within ~100 ms to a steady value
+smaller than FCP's.
+"""
+
+from _bench_utils import BASE_CASES, emit, emit_figure
+
+from repro.eval import experiments
+from repro.eval.report import format_series
+from repro.viz import line_chart
+
+TOPOLOGIES = ("AS209", "AS1239")
+
+
+def test_fig10_transmission_timeline(run_once):
+    out = run_once(
+        experiments.fig10_transmission_timeline,
+        topologies=TOPOLOGIES,
+        n_cases=BASE_CASES,
+        seed=0,
+        horizon=1.0,
+        step=0.02,
+    )
+    lines = []
+    for name, series in out.items():
+        for approach, pts in series.items():
+            lines.append(f"{name:8s} {approach:4s} bytes(t)  {format_series(pts)}")
+    emit("fig10_transmission", "\n".join(lines))
+    emit_figure(
+        "fig10_transmission",
+        line_chart(
+            {
+                f"{approach} ({name})": pts
+                for name, per_approach in out.items()
+                for approach, pts in per_approach.items()
+            },
+            title="Fig. 10 — average transmission overhead",
+            x_label="time (s)",
+            y_label="bytes",
+        ),
+    )
+
+    for name in TOPOLOGIES:
+        rtr = out[name]["RTR"]
+        fcp = out[name]["FCP"]
+        # Converged steady state: RTR below FCP (§IV-C).
+        assert rtr[-1][1] <= fcp[-1][1]
+        # All first phases end within ~110 ms: by 200 ms RTR is steady.
+        steady = [v for t, v in rtr if t >= 0.2]
+        assert max(steady) - min(steady) < 1e-9

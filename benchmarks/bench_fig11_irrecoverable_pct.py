@@ -1,0 +1,46 @@
+"""Fig. 11 — percentage of failed routing paths that are irrecoverable.
+
+Paper claims to reproduce (shape): even tiny failure areas (radius 20,
+0.03 % of the plane) strand over 20 % of failed paths; at radius 300 the
+share exceeds 45 % — motivating the wasted-resource metrics of §IV-D.
+"""
+
+from _bench_utils import SCALE, emit, emit_figure
+
+from repro.eval import experiments
+from repro.eval.report import format_series
+from repro.viz import line_chart
+
+TOPOLOGIES = ("AS209", "AS1239", "AS3549", "AS7018")
+RADII = [20, 60, 100, 140, 180, 220, 260, 300]
+
+
+def test_fig11_irrecoverable_fraction(run_once):
+    out = run_once(
+        experiments.fig11_irrecoverable_fraction,
+        topologies=TOPOLOGIES,
+        radii=RADII,
+        n_areas_per_radius=40 * SCALE,
+        seed=0,
+    )
+    lines = [
+        f"{name:8s} radius:pct  {format_series(series)}"
+        for name, series in out.items()
+    ]
+    emit("fig11_irrecoverable_pct", "\n".join(lines))
+    emit_figure(
+        "fig11_irrecoverable_pct",
+        line_chart(
+            out,
+            title="Fig. 11 — irrecoverable share of failed routing paths",
+            x_label="failure radius",
+            y_label="percentage (%)",
+        ),
+    )
+
+    for name, series in out.items():
+        # The share grows with the radius (ends of the sweep ordered) and
+        # large areas strand a substantial share of failed paths.
+        assert series[-1][1] > series[0][1], name
+        assert series[-1][1] > 15.0, name
+        assert all(0 <= pct <= 100 for _, pct in series)

@@ -1,0 +1,43 @@
+"""Fig. 12 — CDF of wasted computation on irrecoverable test cases.
+
+Paper claims to reproduce (shape): RTR's wasted computation is exactly 1
+shortest-path calculation per case; FCP's is several, with long tails on
+dense topologies (the paper shows >10 calculations in ~80 % of AS3549
+cases).
+"""
+
+from _bench_utils import BASE_CASES, QUICK_TOPOLOGIES, emit, emit_figure
+
+from repro.eval import experiments
+from repro.eval.report import format_cdf
+from repro.viz import cdf_chart
+
+
+def test_fig12_wasted_computation(run_once):
+    out = run_once(
+        experiments.fig12_wasted_computation,
+        topologies=QUICK_TOPOLOGIES,
+        n_cases=BASE_CASES,
+        seed=0,
+    )
+    lines = []
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            lines.append(f"{name:8s} {approach:4s} wasted #SP  {format_cdf(cdf)}")
+    emit("fig12_wasted_computation", "\n".join(lines))
+    emit_figure(
+        "fig12_wasted_computation",
+        cdf_chart(
+            {
+                f"{approach} ({name})": cdf
+                for name, per_approach in out.items()
+                for approach, cdf in per_approach.items()
+            },
+            title="Fig. 12 — wasted computation (irrecoverable)",
+            x_label="number of shortest-path calculations",
+        ),
+    )
+
+    for name in QUICK_TOPOLOGIES:
+        assert out[name]["RTR"] == [(1.0, 1.0)]
+        assert out[name]["FCP"][-1][0] > 1.0

@@ -1,0 +1,44 @@
+"""Fig. 8 — cumulative distribution of the stretch of recovery paths.
+
+Paper claims to reproduce (shape): RTR's stretch is exactly 1 for every
+recovered path (one step in the CDF); FCP's stretch is small in most cases
+but reaches several times optimal in the tail.
+"""
+
+from _bench_utils import BASE_CASES, QUICK_TOPOLOGIES, emit, emit_figure
+
+from repro.eval import experiments
+from repro.eval.report import format_cdf
+from repro.viz import cdf_chart
+
+
+def test_fig8_stretch(run_once):
+    out = run_once(
+        experiments.fig8_stretch,
+        topologies=QUICK_TOPOLOGIES,
+        n_cases=BASE_CASES,
+        seed=0,
+    )
+    lines = []
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            lines.append(f"{name:8s} {approach:4s} stretch  {format_cdf(cdf)}")
+    emit("fig8_stretch", "\n".join(lines))
+    emit_figure(
+        "fig8_stretch",
+        cdf_chart(
+            {
+                f"{approach} ({name})": cdf
+                for name, per_approach in out.items()
+                for approach, cdf in per_approach.items()
+            },
+            title="Fig. 8 — stretch of recovery paths",
+            x_label="stretch",
+        ),
+    )
+
+    for name in QUICK_TOPOLOGIES:
+        rtr = out[name]["RTR"]
+        assert rtr == [(1.0, 1.0)], f"{name}: RTR stretch must be exactly 1"
+        fcp = out[name]["FCP"]
+        assert fcp[-1][0] >= 1.0

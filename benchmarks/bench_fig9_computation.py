@@ -1,0 +1,43 @@
+"""Fig. 9 — CDF of computational overhead on recoverable test cases.
+
+Paper claims to reproduce (shape): RTR calculates the shortest path
+exactly once in every test case; FCP recalculates whenever the packet
+meets a failure not in its header, so its CDF has a long tail.
+"""
+
+from _bench_utils import BASE_CASES, QUICK_TOPOLOGIES, emit, emit_figure
+
+from repro.eval import experiments
+from repro.eval.report import format_cdf
+from repro.viz import cdf_chart
+
+
+def test_fig9_sp_computations(run_once):
+    out = run_once(
+        experiments.fig9_sp_computations,
+        topologies=QUICK_TOPOLOGIES,
+        n_cases=BASE_CASES,
+        seed=0,
+    )
+    lines = []
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            lines.append(f"{name:8s} {approach:4s} #SP-calcs  {format_cdf(cdf)}")
+    emit("fig9_sp_computations", "\n".join(lines))
+    emit_figure(
+        "fig9_sp_computations",
+        cdf_chart(
+            {
+                f"{approach} ({name})": cdf
+                for name, per_approach in out.items()
+                for approach, cdf in per_approach.items()
+            },
+            title="Fig. 9 — shortest-path calculations (recoverable)",
+            x_label="number of calculations",
+        ),
+    )
+
+    for name in QUICK_TOPOLOGIES:
+        assert out[name]["RTR"] == [(1.0, 1.0)]
+        fcp_max = out[name]["FCP"][-1][0]
+        assert fcp_max >= 1.0

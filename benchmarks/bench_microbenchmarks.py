@@ -1,0 +1,71 @@
+"""Microbenchmarks of the performance-critical substrate pieces.
+
+These use pytest-benchmark's statistical timing (many rounds), unlike the
+per-figure experiments.  They document the §III-D claim that incremental
+recomputation is cheap, and track the costs of the phase-1 walk and the
+cross-link precomputation routers perform offline.
+"""
+
+import random
+
+import pytest
+
+from repro.core import run_phase1
+from repro.failures import FailureScenario, LocalView, random_circle
+from repro.geometry import compute_cross_links
+from repro.routing import shortest_path_tree, updated_tree
+from repro.simulator import ForwardingEngine
+from repro.topology import isp_catalog
+
+
+@pytest.fixture(scope="module")
+def big_topo():
+    return isp_catalog.build("AS7018", seed=0)
+
+
+@pytest.fixture(scope="module")
+def failure_setting(big_topo):
+    rng = random.Random(3)
+    scenario = FailureScenario.from_region(big_topo, random_circle(rng))
+    while not scenario.failed_links:
+        scenario = FailureScenario.from_region(big_topo, random_circle(rng))
+    return scenario
+
+
+def test_bench_full_dijkstra(benchmark, big_topo):
+    benchmark(shortest_path_tree, big_topo, 0)
+
+
+def test_bench_incremental_update(benchmark, big_topo, failure_setting):
+    tree = shortest_path_tree(big_topo, 0)
+    removed = set(failure_setting.failed_links)
+    benchmark(updated_tree, big_topo, tree, removed)
+
+
+def test_bench_phase1_walk(benchmark, big_topo, failure_setting):
+    view = LocalView(failure_setting)
+    initiators = [
+        n
+        for n in sorted(failure_setting.live_nodes())
+        if view.unreachable_neighbors(n)
+    ]
+    initiator = initiators[0]
+    trigger = view.unreachable_neighbors(initiator)[0]
+
+    def walk():
+        engine = ForwardingEngine(big_topo, view)
+        return run_phase1(big_topo, view, initiator, trigger, engine)
+
+    result = benchmark(walk)
+    assert result.walk[0] == result.walk[-1] == initiator
+
+
+def test_bench_cross_link_precompute(benchmark, big_topo):
+    pairs = [(link, big_topo.segment(link)) for link in big_topo.links()]
+    benchmark(compute_cross_links, pairs)
+
+
+def test_bench_scenario_application(benchmark, big_topo):
+    rng = random.Random(9)
+    circle = random_circle(rng)
+    benchmark(FailureScenario.from_region, big_topo, circle)

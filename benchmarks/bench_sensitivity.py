@@ -1,0 +1,51 @@
+"""Sensitivity sweeps: RTR's behaviour vs failure-area radius.
+
+Extends the paper's Fig. 11 radius axis to the headline metrics: recovery
+rate (with Wilson confidence intervals) and phase-1 walk length.
+"""
+
+from _bench_utils import SCALE, emit
+
+from repro.eval.report import format_table
+from repro.eval.sweeps import recovery_rate_vs_radius, walk_length_vs_radius
+
+TOPOLOGIES = ("AS209", "AS1239")
+
+
+def test_sensitivity_recovery_rate_vs_radius(run_once):
+    out = run_once(
+        recovery_rate_vs_radius,
+        topologies=TOPOLOGIES,
+        n_cases=80 * SCALE,
+        seed=0,
+    )
+    text = "\n\n".join(
+        f"{name}\n{format_table(rows)}" for name, rows in out.items()
+    )
+    emit("sensitivity_recovery_vs_radius", text)
+
+    for name, rows in out.items():
+        for row in rows:
+            assert row["cases"] > 0
+            assert 0.0 <= row["recovery_rate_pct"] <= 100.0
+            assert row["ci_lo_pct"] <= row["recovery_rate_pct"] <= row["ci_hi_pct"]
+        # Larger areas cannot be easier: the smallest radius's rate must
+        # be at least the largest radius's, within CI slack.
+        assert rows[0]["ci_hi_pct"] >= rows[-1]["ci_lo_pct"], name
+
+
+def test_sensitivity_walk_length_vs_radius(run_once):
+    out = run_once(
+        walk_length_vs_radius,
+        topologies=TOPOLOGIES,
+        n_initiators=60 * SCALE,
+        seed=0,
+    )
+    text = "\n\n".join(
+        f"{name}\n{format_table(rows)}" for name, rows in out.items()
+    )
+    emit("sensitivity_walk_length", text)
+
+    for name, rows in out.items():
+        # Bigger areas have longer boundaries: the walk grows end to end.
+        assert rows[-1]["mean_walk_hops"] > rows[0]["mean_walk_hops"], name

@@ -1,0 +1,18 @@
+"""Table II — summary of topologies used in the simulation.
+
+Regenerates the paper's topology table (AS name, #nodes, #links) from the
+catalog and verifies each build against it.
+"""
+
+from _bench_utils import emit
+
+from repro.eval import experiments
+from repro.eval.report import format_table
+
+
+def test_table2_topologies(run_once):
+    rows = run_once(experiments.table2_topologies)
+    emit("table2_topologies", format_table(rows))
+    assert len(rows) == 8
+    assert all(r["built_nodes"] == r["nodes"] for r in rows)
+    assert all(r["built_links"] == r["links"] for r in rows)

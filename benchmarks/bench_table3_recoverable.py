@@ -1,0 +1,37 @@
+"""Table III — RTR vs FCP vs MRC on recoverable test cases.
+
+Paper claims to reproduce (shape):
+* RTR's recovery rate is high (97.7-99.2 % per topology in the paper) and
+  *identical* to its optimal recovery rate (Theorem 2);
+* FCP recovers 100 % but with a lower optimal rate and stretch > 1;
+* MRC's rates collapse under large-scale failures;
+* RTR uses exactly 1 shortest-path calculation, FCP several.
+"""
+
+from _bench_utils import BASE_CASES, QUICK_TOPOLOGIES, emit
+
+from repro.eval import experiments
+from repro.eval.report import format_nested_table
+
+
+def test_table3_recoverable(run_once):
+    table = run_once(
+        experiments.table3_recoverable,
+        topologies=QUICK_TOPOLOGIES,
+        n_cases=BASE_CASES,
+        seed=0,
+    )
+    emit("table3_recoverable", format_nested_table(table))
+
+    for name in QUICK_TOPOLOGIES:
+        rtr = table[name]["RTR"]
+        fcp = table[name]["FCP"]
+        mrc = table[name]["MRC"]
+        assert rtr["recovery_rate_pct"] == rtr["optimal_recovery_rate_pct"]
+        assert rtr["recovery_rate_pct"] >= 90.0
+        assert rtr["max_stretch"] <= 1.0
+        assert rtr["max_sp_computations"] == 1
+        assert fcp["recovery_rate_pct"] == 100.0
+        assert fcp["max_sp_computations"] >= 1
+        assert mrc["recovery_rate_pct"] < rtr["recovery_rate_pct"]
+        assert rtr["optimal_recovery_rate_pct"] > fcp["optimal_recovery_rate_pct"]

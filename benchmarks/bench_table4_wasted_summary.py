@@ -1,0 +1,42 @@
+"""Table IV — wasted computation and transmission, RTR vs FCP.
+
+Paper claims to reproduce (shape): RTR's wasted computation is exactly 1
+everywhere; averaged across topologies RTR saves on the order of the
+paper's headline 83.1 % of computation and 75.6 % of transmission
+relative to FCP on irrecoverable cases.
+"""
+
+from _bench_utils import BASE_CASES, QUICK_TOPOLOGIES, emit
+
+from repro.eval import experiments
+from repro.eval.report import format_nested_table
+
+
+def test_table4_wasted_summary(run_once):
+    table = run_once(
+        experiments.table4_wasted_summary,
+        topologies=QUICK_TOPOLOGIES,
+        n_cases=BASE_CASES,
+        seed=0,
+    )
+    text = format_nested_table(
+        {k: v for k, v in table.items() if k != "Savings"}
+    )
+    savings = table["Savings"]
+    text += (
+        f"\n\nOverall savings vs FCP: computation "
+        f"{savings['computation_saved_pct']}%  transmission "
+        f"{savings['transmission_saved_pct']}%"
+        f"\n(paper: 83.1% computation, 75.6% transmission)"
+    )
+    emit("table4_wasted_summary", text)
+
+    for name in QUICK_TOPOLOGIES:
+        rtr = table[name]["RTR"]
+        fcp = table[name]["FCP"]
+        assert rtr["avg_wasted_computation"] == 1.0
+        assert rtr["max_wasted_computation"] == 1
+        assert fcp["avg_wasted_computation"] > 1.0
+        assert rtr["avg_wasted_transmission"] < fcp["avg_wasted_transmission"]
+    assert savings["computation_saved_pct"] > 50.0
+    assert savings["transmission_saved_pct"] > 50.0

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's §IV and
+emits the rows/series in paper form.  Output goes both to stdout (visible
+with ``pytest -s``) and to ``benchmarks/results/<name>.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated tables
+on disk.
+
+Scale knob: set ``REPRO_BENCH_SCALE`` (default 1) to multiply case counts;
+the paper-scale run (10,000 cases per topology) is
+``examples/full_evaluation.py --paper-scale``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under the benchmark timer.
+
+    The per-figure experiments are seconds-long end-to-end simulations;
+    statistical repetition belongs to the microbenchmarks, not here.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (§IV).
+
+Runs Table II, Fig. 7, Table III, Figs. 8-13, and Table IV in sequence and
+prints them in paper form.  By default this is a quick (minutes) run at
+reduced scale; ``--paper-scale`` uses the paper's full counts (10,000
+recoverable + 10,000 irrecoverable cases per topology, 1,000 areas per
+radius) and takes hours:
+
+    python examples/full_evaluation.py [--paper-scale] [--cases N] [--topos AS209,AS1239]
+"""
+
+import argparse
+import time
+
+from repro.eval import experiments
+from repro.eval.report import (
+    format_cdf,
+    format_nested_table,
+    format_series,
+    format_table,
+)
+from repro.topology import isp_catalog
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full case counts (slow: hours)",
+    )
+    parser.add_argument("--cases", type=int, default=300, help="cases per topology")
+    parser.add_argument(
+        "--areas", type=int, default=100, help="failure areas per radius (Fig. 11)"
+    )
+    parser.add_argument(
+        "--topos",
+        type=str,
+        default=",".join(isp_catalog.names()),
+        help="comma-separated AS names",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool size for Tables III/IV (1 = serial)",
+    )
+    args = parser.parse_args()
+
+    n_cases = 10_000 if args.paper_scale else args.cases
+    n_areas = 1_000 if args.paper_scale else args.areas
+    topologies = tuple(args.topos.split(","))
+    started = time.time()
+
+    banner("Table II — topologies")
+    print(format_table(experiments.table2_topologies(seed=args.seed)))
+
+    banner("Fig. 7 — CDF of the duration of the first phase (ms)")
+    out = experiments.fig7_phase1_duration(
+        topologies, n_recoverable=n_cases, n_irrecoverable=n_cases, seed=args.seed
+    )
+    for name, data in out.items():
+        print(f"{name:8s} {format_cdf(data['cdf'])}")
+
+    banner("Table III — recoverable test cases")
+    if args.jobs > 1:
+        from repro.eval.parallel import parallel_table3
+
+        table3 = parallel_table3(topologies, n_cases, args.seed, jobs=args.jobs)
+    else:
+        table3 = experiments.table3_recoverable(topologies, n_cases, args.seed)
+    print(format_nested_table(table3))
+
+    banner("Fig. 8 — CDF of stretch")
+    out = experiments.fig8_stretch(topologies, n_cases, args.seed)
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            print(f"{name:8s} {approach:4s} {format_cdf(cdf)}")
+
+    banner("Fig. 9 — CDF of shortest-path calculations (recoverable)")
+    out = experiments.fig9_sp_computations(topologies, n_cases, args.seed)
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            print(f"{name:8s} {approach:4s} {format_cdf(cdf)}")
+
+    banner("Fig. 10 — transmission overhead over the first second (bytes)")
+    out = experiments.fig10_transmission_timeline(
+        topologies, min(n_cases, 500), args.seed
+    )
+    for name, series in out.items():
+        for approach, pts in series.items():
+            print(f"{name:8s} {approach:4s} {format_series(pts)}")
+
+    banner("Fig. 11 — % of failed routing paths that are irrecoverable")
+    out = experiments.fig11_irrecoverable_fraction(
+        topologies, n_areas_per_radius=n_areas, seed=args.seed
+    )
+    for name, series in out.items():
+        print(f"{name:8s} {format_series(series)}")
+
+    banner("Fig. 12 — CDF of wasted computation (irrecoverable)")
+    out = experiments.fig12_wasted_computation(topologies, n_cases, args.seed)
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            print(f"{name:8s} {approach:4s} {format_cdf(cdf)}")
+
+    banner("Fig. 13 — CDF of wasted transmission (irrecoverable)")
+    out = experiments.fig13_wasted_transmission(topologies, n_cases, args.seed)
+    for name, series in out.items():
+        for approach, cdf in series.items():
+            print(f"{name:8s} {approach:4s} {format_cdf(cdf)}")
+
+    banner("Table IV — wasted computation and transmission (irrecoverable)")
+    table = experiments.table4_wasted_summary(topologies, n_cases, args.seed)
+    print(format_nested_table({k: v for k, v in table.items() if k != "Savings"}))
+    savings = table["Savings"]
+    print(
+        f"\nRTR saves {savings['computation_saved_pct']} % computation and "
+        f"{savings['transmission_saved_pct']} % transmission vs FCP "
+        f"(paper: 83.1 % / 75.6 %)"
+    )
+
+    print(f"\ntotal wall time: {time.time() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's running example (Figs. 1/2/4/6 and Table I), reproduced.
+
+Replays the scenario the paper uses throughout §III: router v10 dies, the
+area cuts e6,11 and e4,11, the default path v7 -> v6 -> v11 -> v15 -> v17
+breaks, and v6 initiates recovery.  Prints the Table I per-hop header
+trace and the Fig. 6 recovery path:
+
+    python examples/paper_walkthrough.py
+"""
+
+from repro import RTR, FailureScenario
+from repro.failures import LocalView
+from repro.topology.examples import PAPER_FAILURE_REGION, paper_figure_topology
+
+
+def main() -> None:
+    topo = paper_figure_topology()
+    scenario = FailureScenario.from_region(topo, PAPER_FAILURE_REGION)
+    view = LocalView(scenario)
+
+    print("the example of Figs. 1/4/6:")
+    print(f"  failed router : v10")
+    print(
+        "  failed links  : "
+        + ", ".join(sorted(str(l) for l in scenario.failed_links))
+    )
+    print(
+        "  v11's local view: neighbors "
+        + ", ".join(f"v{n}" for n in sorted(view.unreachable_neighbors(11)))
+        + " unreachable (it cannot tell node from link failures)"
+    )
+
+    rtr = RTR(topo, scenario)
+    default = rtr.routing.path(7, 17)
+    print(f"\ndefault path v7 -> v17: {default}")
+    initiator, trigger = rtr.find_initiator(7, 17)
+    print(f"disconnected at {initiator}-{trigger}: v{initiator} invokes RTR")
+
+    result = rtr.recover(initiator, 17, trigger)
+    phase1 = rtr.phase1_for(initiator, trigger)
+
+    print("\nTable I — the first phase, hop by hop:")
+    print(f"{'hop':>4}  {'at':>4}  {'failed_link':<42}  cross_link")
+    for hop, (node, failed, cross) in enumerate(phase1.field_trace):
+        print(
+            f"{hop:>4}  v{node:<3}  "
+            f"{', '.join(str(l) for l in failed):<42}  "
+            f"{', '.join(str(l) for l in cross)}"
+        )
+
+    print(f"\nfirst phase: {phase1.hops} hops, {phase1.duration * 1000:.1f} ms")
+    print(f"recovery path (Fig. 6 dashed): {result.path}")
+    print(f"shortest-path calculations: {result.sp_computations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: recover one failed routing path with RTR.
+
+Builds an ISP topology from the Table II catalog, drops a random circular
+failure area on it (the paper's §IV-A setup), finds a broken default path,
+and runs Reactive Two-phase Rerouting end to end:
+
+    python examples/quickstart.py [seed]
+"""
+
+import random
+import sys
+
+from repro import FailureScenario, Oracle, RTR, isp_catalog, random_circle
+from repro.failures import LocalView
+
+
+def main(seed: int = 7) -> None:
+    rng = random.Random(seed)
+    topo = isp_catalog.build("AS1239", seed=seed)
+    print(f"topology: {topo.name} ({topo.node_count} nodes, {topo.link_count} links)")
+
+    # A random large-scale failure that actually breaks something.
+    scenario = FailureScenario.from_region(topo, random_circle(rng))
+    while not scenario.failed_links:
+        scenario = FailureScenario.from_region(topo, random_circle(rng))
+    print(
+        f"failure area: {scenario.region}, "
+        f"{len(scenario.failed_nodes)} routers and "
+        f"{len(scenario.failed_links)} links down"
+    )
+
+    rtr = RTR(topo, scenario)
+    view = LocalView(scenario)
+    oracle = Oracle(topo, scenario)
+
+    # Find some broken default path with a live source.
+    for source in sorted(scenario.live_nodes()):
+        for destination in sorted(scenario.live_nodes()):
+            if source == destination:
+                continue
+            path = rtr.routing.path(source, destination)
+            if path is None:
+                continue
+            broken = any(
+                not view.is_neighbor_reachable(a, b) for a, b in path.hops()
+            )
+            if broken:
+                demo(rtr, oracle, source, destination, path)
+                return
+    print("this failure broke no routing path; rerun with another seed")
+
+
+def demo(rtr: RTR, oracle: Oracle, source: int, destination: int, path) -> None:
+    print(f"\nbroken default path: {path}")
+    initiator, trigger = rtr.find_initiator(source, destination)
+    print(f"recovery initiator: v{initiator} (next hop v{trigger} unreachable)")
+
+    result = rtr.recover_flow(source, destination)
+    phase1 = rtr.phase1_for(initiator, trigger)
+    print(f"\nphase 1 walk ({phase1.hops} hops, {phase1.duration * 1000:.1f} ms):")
+    print("  " + " -> ".join(f"v{n}" for n in phase1.walk))
+    print(
+        "  collected failed links: "
+        + (", ".join(str(l) for l in phase1.collected_failed_links) or "(none)")
+    )
+
+    if result.delivered:
+        print(f"\nphase 2 recovery path: {result.path}")
+        optimal = oracle.optimal_cost(initiator, destination)
+        print(
+            f"optimal cost (oracle, G-E2): {optimal:g} -> "
+            f"stretch {result.path.cost / optimal:.2f}"
+        )
+    else:
+        print("\ndestination unreachable: packets discarded at the initiator")
+    print(f"shortest-path calculations used: {result.sp_computations}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Render a recovery episode as SVG (like the paper's Figs. 2 and 6).
+
+Draws the paper's worked example — failure area, failed elements, the
+default path, the phase-1 walk, and the recovery path — plus one random
+ISP scenario, into ``out/``:
+
+    python examples/visualize_recovery.py [outdir]
+"""
+
+import random
+import sys
+from pathlib import Path
+
+from repro import RTR, FailureScenario, isp_catalog, random_circle
+from repro.topology.examples import PAPER_FAILURE_REGION, paper_figure_topology
+from repro.viz import render_topology, save_svg
+
+
+def render_paper_example(outdir: Path) -> None:
+    topo = paper_figure_topology()
+    scenario = FailureScenario.from_region(topo, PAPER_FAILURE_REGION)
+    rtr = RTR(topo, scenario)
+    result = rtr.recover(6, 17, 11)
+    phase1 = rtr.phase1_for(6, 11)
+    default = rtr.routing.path(7, 17)
+    svg = render_topology(
+        topo,
+        scenario=scenario,
+        walk=phase1.walk,
+        recovery_path=list(result.path.nodes) if result.path else None,
+        default_path=list(default.nodes) if default else None,
+        title="RTR on the paper's Fig. 6 example",
+    )
+    path = save_svg(svg, outdir / "paper_example.svg")
+    print(f"wrote {path} (walk dotted green, recovery dashed purple)")
+
+
+def render_random_isp(outdir: Path, seed: int = 5) -> None:
+    rng = random.Random(seed)
+    topo = isp_catalog.build("AS1239", seed=seed)
+    scenario = FailureScenario.from_region(topo, random_circle(rng))
+    while not scenario.failed_links:
+        scenario = FailureScenario.from_region(topo, random_circle(rng))
+    rtr = RTR(topo, scenario)
+    from repro.failures import LocalView
+
+    view = LocalView(scenario)
+    walk = recovery = None
+    for initiator in sorted(scenario.live_nodes()):
+        unreachable = view.unreachable_neighbors(initiator)
+        if not unreachable:
+            continue
+        for destination in sorted(scenario.live_nodes()):
+            nh = rtr.routing.next_hop(initiator, destination)
+            if nh not in unreachable:
+                continue
+            result = rtr.recover(initiator, destination, nh)
+            if result.delivered:
+                walk = rtr.phase1_for(initiator, nh).walk
+                recovery = list(result.path.nodes)
+                break
+        if walk:
+            break
+    svg = render_topology(
+        topo,
+        scenario=scenario,
+        walk=walk,
+        recovery_path=recovery,
+        labels=False,
+        title="RTR on a random AS1239 failure",
+    )
+    path = save_svg(svg, outdir / "as1239_recovery.svg")
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("out")
+    outdir.mkdir(parents=True, exist_ok=True)
+    render_paper_example(outdir)
+    render_random_isp(outdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP
+660 editable installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Baseline recovery approaches the paper compares against."""
+
+from .fcp import FCP
+from .mrc import MRC, BackupConfiguration, generate_configurations, unprotected_nodes
+from .oracle import Oracle
+
+__all__ = [
+    "FCP",
+    "MRC",
+    "BackupConfiguration",
+    "generate_configurations",
+    "unprotected_nodes",
+    "Oracle",
+]

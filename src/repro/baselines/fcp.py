@@ -1,0 +1,164 @@
+"""FCP — Failure-Carrying Packets (Lakshminarayanan et al., SIGCOMM 2007).
+
+The reactive baseline the paper compares against (§IV-A), in its
+**source-routing variant**, "which reduces the computational overhead of
+the original FCP".
+
+Behaviour: the packet header carries the list of failed links the packet
+has *encountered*.  A node holding the packet computes a shortest path to
+the destination on the topology minus the header's failed links (and minus
+its own locally detected failures — a router always knows its neighbors'
+reachability), writes it as a source route, and forwards.  When the route
+runs into another failure, the detecting node appends that link to the
+header and recomputes.  The packet is dropped only when the computing node
+finds no path at all — which is why FCP "has to try every possible link to
+reach the destination before discarding packets" (§IV-D) and burns many
+shortest-path calculations on irrecoverable destinations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..errors import SimulationError
+from ..failures import FailureScenario, LocalView
+from ..routing import Path, RoutingTable, shortest_path_or_none
+from ..simulator import (
+    DEFAULT_DELAY_MODEL,
+    DEFAULT_PAYLOAD_BYTES,
+    DelayModel,
+    ForwardingEngine,
+    Mode,
+    Packet,
+    RecoveryAccounting,
+    RecoveryHeader,
+    RecoveryResult,
+)
+from ..topology import Link, Topology
+
+APPROACH_NAME = "FCP"
+
+
+class FCP:
+    """FCP (source-routing variant) over one failure scenario."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        scenario: FailureScenario,
+        routing: Optional[RoutingTable] = None,
+        delay_model: DelayModel = DEFAULT_DELAY_MODEL,
+        max_recomputations: int = 10_000,
+    ) -> None:
+        self.topo = topo
+        self.scenario = scenario
+        self.view = LocalView(scenario)
+        self.routing = routing if routing is not None else RoutingTable(topo)
+        self.engine = ForwardingEngine(topo, self.view, delay_model)
+        self.max_recomputations = max_recomputations
+
+    def recover(
+        self,
+        initiator: int,
+        destination: int,
+        trigger_neighbor: Optional[int] = None,
+    ) -> RecoveryResult:
+        """Deliver one packet from ``initiator`` with failure-carrying headers."""
+        if not self.scenario.is_node_live(initiator):
+            raise SimulationError(f"initiator {initiator} has failed")
+        if trigger_neighbor is None:
+            trigger_neighbor = self.routing.next_hop(initiator, destination)
+            if trigger_neighbor is None:
+                raise SimulationError(
+                    f"{initiator} has no pre-failure route toward {destination}"
+                )
+        if self.view.is_neighbor_reachable(initiator, trigger_neighbor):
+            raise SimulationError(
+                f"default next hop {trigger_neighbor} is reachable; FCP is "
+                f"invoked on failure only"
+            )
+
+        accounting = RecoveryAccounting()
+        header = RecoveryHeader(mode=Mode.SOURCE_ROUTED, rec_init=initiator)
+        # The initiator *encountered* the failed default next hop: that link
+        # is the first entry carried in the header.
+        header.record_failed(Link.of(initiator, trigger_neighbor))
+        packet = Packet(source=initiator, destination=destination, header=header)
+
+        current = initiator
+        traveled_path: List[int] = [initiator]
+        for _ in range(self.max_recomputations):
+            carried: Set[Link] = set(header.failed_links)
+            local = set(self.view.locally_failed_links(current))
+            accounting.count_sp(1)
+            route = shortest_path_or_none(
+                self.topo, current, destination, excluded_links=carried | local
+            )
+            if route is None:
+                # Out of options: discard here (§IV-D's late discard).
+                return self._dropped(
+                    accounting, packet, traveled_path, drop_node=current
+                )
+            header.source_route = list(route.nodes)
+
+            hit_failure = False
+            for node, nxt in route.hops():
+                if not self.view.is_neighbor_reachable(node, nxt):
+                    header.record_failed(Link.of(node, nxt))
+                    current = node
+                    hit_failure = True
+                    break
+                self.engine.forward_one_hop(packet, nxt, accounting)
+                traveled_path.append(nxt)
+            if not hit_failure:
+                return RecoveryResult(
+                    approach=APPROACH_NAME,
+                    delivered=True,
+                    path=Path(
+                        tuple(traveled_path),
+                        _hop_cost(self.topo, traveled_path),
+                    ),
+                    accounting=accounting,
+                )
+        raise SimulationError(
+            f"FCP exceeded {self.max_recomputations} recomputations"
+        )
+
+    def recover_flow(self, source: int, destination: int) -> RecoveryResult:
+        """Recover the failed default path, like :meth:`RTR.recover_flow`."""
+        initiator, trigger = self.find_initiator(source, destination)
+        return self.recover(initiator, destination, trigger)
+
+    def find_initiator(self, source: int, destination: int) -> tuple:
+        """First node on the pre-failure path whose next hop is unreachable."""
+        if not self.scenario.is_node_live(source):
+            raise SimulationError(f"source {source} has failed")
+        path = self.routing.path(source, destination)
+        if path is None:
+            raise SimulationError(f"no pre-failure route {source} -> {destination}")
+        for node, nxt in path.hops():
+            if not self.view.is_neighbor_reachable(node, nxt):
+                return node, nxt
+        raise SimulationError(f"default path {source} -> {destination} did not fail")
+
+    def _dropped(
+        self,
+        accounting: RecoveryAccounting,
+        packet: Packet,
+        traveled_path: List[int],
+        drop_node: int,
+    ) -> RecoveryResult:
+        return RecoveryResult(
+            approach=APPROACH_NAME,
+            delivered=False,
+            path=None,
+            accounting=accounting,
+            drop_hops=accounting.hops_traveled,
+            drop_packet_bytes=DEFAULT_PAYLOAD_BYTES
+            + packet.header.recovery_bytes(),
+        )
+
+
+def _hop_cost(topo: Topology, nodes: List[int]) -> float:
+    """Total directed cost along a traveled node sequence."""
+    return sum(topo.cost(a, b) for a, b in zip(nodes[:-1], nodes[1:]))

@@ -1,0 +1,54 @@
+"""Oracle recovery: ground-truth shortest paths in ``G - E2``.
+
+Not a deployable protocol — the oracle sees the exact failure set, which no
+router has during IGP convergence (§I).  It defines:
+
+* **recoverability**: a failed routing path is recoverable iff the oracle
+  finds any path (§IV-A case 2 vs case 3),
+* **optimality**: the denominator of the stretch metric (§IV-C) and the
+  reference for the *optimal recovery rate*.
+
+Theorem 2 says RTR's recovered paths always match the oracle's length;
+tests and the Table III benchmark check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..failures import FailureScenario
+from ..routing import Path, shortest_path_or_none
+from ..topology import Topology
+
+APPROACH_NAME = "Oracle"
+
+
+class Oracle:
+    """Ground-truth shortest-path recovery for one failure scenario."""
+
+    def __init__(self, topo: Topology, scenario: FailureScenario) -> None:
+        self.topo = topo
+        self.scenario = scenario
+        self._excluded_nodes = set(scenario.failed_nodes)
+        self._excluded_links = set(scenario.failed_links)
+
+    def recovery_path(self, initiator: int, destination: int) -> Optional[Path]:
+        """The true shortest initiator -> destination path in ``G - E2``."""
+        if destination in self._excluded_nodes or initiator in self._excluded_nodes:
+            return None
+        return shortest_path_or_none(
+            self.topo,
+            initiator,
+            destination,
+            excluded_nodes=self._excluded_nodes,
+            excluded_links=self._excluded_links,
+        )
+
+    def is_recoverable(self, initiator: int, destination: int) -> bool:
+        """Whether any live path exists (§IV-A's case 2)."""
+        return self.recovery_path(initiator, destination) is not None
+
+    def optimal_cost(self, initiator: int, destination: int) -> Optional[float]:
+        """Cost of the optimal recovery path, or ``None`` if irrecoverable."""
+        path = self.recovery_path(initiator, destination)
+        return path.cost if path is not None else None

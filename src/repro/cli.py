@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``topo list`` — the Table II catalog;
+* ``topo build AS1239 -o t.json`` — build and save a catalog topology;
+* ``topo stats t.json`` / ``topo stats AS1239`` — structural statistics;
+* ``recover`` — run one recovery episode and print the trace;
+* ``eval <experiment>`` — regenerate one table/figure (table2, fig7,
+  table3, fig8, fig9, fig10, fig11, fig12, fig13, table4);
+* ``render`` — draw a topology/failure/recovery episode as SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__
+from .core import RTR
+from .failures import FailureScenario, LocalView, random_circle
+from .geometry import Circle, Point
+from .topology import Topology, isp_catalog, load_topology, save_topology
+from .topology.validation import stats as topo_stats
+
+
+def _load_or_build(spec: str, seed: int) -> Topology:
+    """Interpret ``spec`` as a catalog AS name or a JSON topology path."""
+    if spec.upper().startswith("AS") and not Path(spec).exists():
+        return isp_catalog.build(spec.upper(), seed=seed)
+    return load_topology(spec)
+
+
+def _scenario_from_args(topo: Topology, args: argparse.Namespace) -> FailureScenario:
+    if args.cx is not None and args.cy is not None and args.radius is not None:
+        region = Circle(Point(args.cx, args.cy), args.radius)
+        return FailureScenario.from_region(topo, region)
+    rng = random.Random(args.seed)
+    scenario = FailureScenario.from_region(topo, random_circle(rng))
+    attempts = 0
+    while not scenario.failed_links and attempts < 1000:
+        scenario = FailureScenario.from_region(topo, random_circle(rng))
+        attempts += 1
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    from .eval.report import format_table
+
+    if args.topo_command == "list":
+        print(format_table(isp_catalog.summary_rows(include_extended=args.extended)))
+        return 0
+    if args.topo_command == "build":
+        topo = isp_catalog.build(args.name.upper(), seed=args.seed)
+        if args.output:
+            save_topology(topo, args.output)
+            print(f"wrote {args.output}")
+        else:
+            print(topo)
+        return 0
+    if args.topo_command == "stats":
+        topo = _load_or_build(args.spec, args.seed)
+        print(format_table([topo_stats(topo)]))
+        return 0
+    raise AssertionError(args.topo_command)
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    topo = _load_or_build(args.topology, args.seed)
+    scenario = _scenario_from_args(topo, args)
+    if not scenario.failed_links:
+        print("the failure area destroyed nothing; adjust --cx/--cy/--radius")
+        return 1
+    print(f"failure: {len(scenario.failed_nodes)} routers, {len(scenario.failed_links)} links down")
+
+    rtr = RTR(topo, scenario)
+    view = LocalView(scenario)
+
+    pair = _pick_pair(args, topo, scenario, rtr, view)
+    if pair is None:
+        print("no failed routing path with a live source found")
+        return 1
+    source, destination = pair
+
+    try:
+        result = rtr.recover_flow(source, destination)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}")
+        return 1
+    initiator, trigger = rtr.find_initiator(source, destination)
+    phase1 = rtr.phase1_for(initiator, trigger)
+    print(f"flow v{source} -> v{destination}: initiator v{initiator}")
+    print(
+        f"phase 1: {phase1.hops} hops, {phase1.duration * 1000:.1f} ms, "
+        f"{len(phase1.collected_failed_links)} failed links collected"
+    )
+    if result.delivered:
+        print(f"recovered: {result.path}")
+    else:
+        print("destination unreachable: packets discarded at the initiator")
+    return 0
+
+
+def _pick_pair(args, topo, scenario, rtr, view):
+    if args.source is not None and args.destination is not None:
+        return args.source, args.destination
+    for source in sorted(scenario.live_nodes()):
+        for destination in sorted(scenario.live_nodes()):
+            if source == destination:
+                continue
+            path = rtr.routing.path(source, destination)
+            if path is None:
+                continue
+            if any(not view.is_neighbor_reachable(a, b) for a, b in path.hops()):
+                return source, destination
+    return None
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from .eval import experiments
+    from .eval.report import format_cdf, format_nested_table, format_series, format_table
+
+    topologies = tuple(args.topos.split(",")) if args.topos else tuple(isp_catalog.names())
+    n = args.cases
+
+    name = args.experiment
+    if name == "table2":
+        print(format_table(experiments.table2_topologies(seed=args.seed)))
+    elif name == "fig7":
+        out = experiments.fig7_phase1_duration(topologies, n, n // 2, args.seed)
+        for topo_name, data in out.items():
+            print(f"{topo_name:8s} {format_cdf(data['cdf'])}")
+    elif name == "table3":
+        print(format_nested_table(experiments.table3_recoverable(topologies, n, args.seed)))
+    elif name in ("fig8", "fig9", "fig12", "fig13"):
+        driver = {
+            "fig8": experiments.fig8_stretch,
+            "fig9": experiments.fig9_sp_computations,
+            "fig12": experiments.fig12_wasted_computation,
+            "fig13": experiments.fig13_wasted_transmission,
+        }[name]
+        out = driver(topologies, n, args.seed)
+        for topo_name, series in out.items():
+            for approach, cdf in series.items():
+                print(f"{topo_name:8s} {approach:4s} {format_cdf(cdf)}")
+    elif name == "fig10":
+        out = experiments.fig10_transmission_timeline(topologies, n, args.seed)
+        for topo_name, series in out.items():
+            for approach, pts in series.items():
+                print(f"{topo_name:8s} {approach:4s} {format_series(pts)}")
+    elif name == "fig11":
+        out = experiments.fig11_irrecoverable_fraction(
+            topologies, n_areas_per_radius=max(10, n // 10), seed=args.seed
+        )
+        for topo_name, series in out.items():
+            print(f"{topo_name:8s} {format_series(series)}")
+    elif name == "table4":
+        table = experiments.table4_wasted_summary(topologies, n, args.seed)
+        print(format_nested_table({k: v for k, v in table.items() if k != "Savings"}))
+        print(f"savings: {table.get('Savings')}")
+    else:
+        print(f"unknown experiment {name!r}")
+        return 2
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from .viz import render_topology, save_svg
+
+    topo = _load_or_build(args.topology, args.seed)
+    scenario = None
+    walk = recovery = None
+    if args.failure:
+        scenario = _scenario_from_args(topo, args)
+        rtr = RTR(topo, scenario)
+        view = LocalView(scenario)
+        pair = _pick_pair(args, topo, scenario, rtr, view)
+        if pair is not None:
+            result = rtr.recover_flow(*pair)
+            initiator, trigger = rtr.find_initiator(*pair)
+            walk = rtr.phase1_for(initiator, trigger).walk
+            if result.delivered:
+                recovery = list(result.path.nodes)
+    svg = render_topology(
+        topo,
+        scenario=scenario,
+        walk=walk,
+        recovery_path=recovery,
+        labels=not args.no_labels,
+        title=args.topology,
+    )
+    save_svg(svg, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RTR reproduction toolkit"
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topo", help="topology catalog operations")
+    topo_sub = topo.add_subparsers(dest="topo_command", required=True)
+    topo_list = topo_sub.add_parser("list", help="show the Table II catalog")
+    topo_list.add_argument("--extended", action="store_true")
+    topo_build = topo_sub.add_parser("build", help="build a catalog topology")
+    topo_build.add_argument("name")
+    topo_build.add_argument("--seed", type=int, default=0)
+    topo_build.add_argument("-o", "--output")
+    topo_stats_p = topo_sub.add_parser("stats", help="structural statistics")
+    topo_stats_p.add_argument("spec", help="AS name or topology JSON path")
+    topo_stats_p.add_argument("--seed", type=int, default=0)
+    topo.set_defaults(func=cmd_topo)
+
+    recover = sub.add_parser("recover", help="run one recovery episode")
+    recover.add_argument("--topology", default="AS1239")
+    recover.add_argument("--seed", type=int, default=0)
+    recover.add_argument("--cx", type=float)
+    recover.add_argument("--cy", type=float)
+    recover.add_argument("--radius", type=float)
+    recover.add_argument("--source", type=int)
+    recover.add_argument("--destination", type=int)
+    recover.set_defaults(func=cmd_recover)
+
+    ev = sub.add_parser("eval", help="regenerate a table/figure")
+    ev.add_argument(
+        "experiment",
+        choices=[
+            "table2", "fig7", "table3", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "table4",
+        ],
+    )
+    ev.add_argument("--cases", type=int, default=150)
+    ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--topos", help="comma-separated AS names (default: all)")
+    ev.set_defaults(func=cmd_eval)
+
+    render = sub.add_parser("render", help="render a topology as SVG")
+    render.add_argument("--topology", default="AS1239")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--failure", action="store_true", help="add a random failure")
+    render.add_argument("--cx", type=float)
+    render.add_argument("--cy", type=float)
+    render.add_argument("--radius", type=float)
+    render.add_argument("--source", type=int)
+    render.add_argument("--destination", type=int)
+    render.add_argument("--no-labels", action="store_true")
+    render.add_argument("-o", "--output", default="topology.svg")
+    render.set_defaults(func=cmd_render)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""RTR phase 2: recomputation and source-routed rerouting (§III-D).
+
+The initiator removes the collected failed links (plus its own locally
+detected ones) from its view of the topology, computes the new shortest
+path to the destination, and forwards packets along it via source routing.
+Two recomputation engines are provided:
+
+* **incremental** (the paper's choice, Narvaez et al.): update the
+  initiator's pre-failure shortest-path tree by deleting the failed links —
+  one update serves *every* destination;
+* **full**: a fresh Dijkstra per initiator on ``G - E1``.
+
+Both count as one shortest-path calculation in the §IV-C accounting and
+produce identical distances (asserted by tests).
+
+Because phase 1 may miss failures hidden inside the area, the computed
+route can still contain a failed element; the packet is then simply
+discarded at the node that detects it (§III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..failures import LocalView
+from ..routing import Path, ShortestPathTree, shortest_path_tree, updated_tree
+from ..simulator import (
+    ForwardingEngine,
+    Mode,
+    Packet,
+    RecoveryAccounting,
+    RecoveryHeader,
+)
+from ..topology import Link, Topology
+from .phase1 import Phase1Result
+
+
+@dataclass
+class Phase2Result:
+    """Outcome of one phase-2 delivery attempt."""
+
+    #: The computed recovery path (None when the destination appears
+    #: unreachable in ``G - E1`` and packets are discarded at the initiator).
+    route: Optional[Path]
+    #: Whether the packet reached the destination.
+    delivered: bool
+    #: Node that discarded the packet (initiator when no route was found).
+    drop_node: Optional[int]
+    #: Hops actually traveled along the route before delivery/drop.
+    hops_traveled: int
+    #: Recovery header bytes carried by the source-routed packet.
+    route_header_bytes: int
+
+
+class Phase2Engine:
+    """Per-initiator recovery-path computation with caching (§III-D).
+
+    One instance belongs to one recovery initiator.  The first query pays
+    one shortest-path calculation (the §IV metric); subsequent destinations
+    are served from the cached tree — "by caching the recovery paths, the
+    recovery initiator needs to calculate the shortest path only once for
+    each destination affected by failures".
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        initiator: int,
+        phase1: Phase1Result,
+        use_incremental: bool = True,
+    ) -> None:
+        self.topo = topo
+        self.initiator = initiator
+        self.phase1 = phase1
+        self.use_incremental = use_incremental
+        self.known_failed: Set[Link] = set(phase1.all_known_failed_links())
+        self._tree: Optional[ShortestPathTree] = None
+        #: Shortest-path calculations actually performed (1 after first use).
+        self.sp_computations = 0
+
+    def _compute_tree(self) -> ShortestPathTree:
+        if self.use_incremental:
+            # The initiator already has its pre-failure SPT from normal
+            # link-state operation; only the incremental update is the
+            # on-demand recovery computation.
+            pre_failure = shortest_path_tree(self.topo, self.initiator)
+            return updated_tree(self.topo, pre_failure, removed_links=self.known_failed)
+        return shortest_path_tree(
+            self.topo, self.initiator, excluded_links=self.known_failed
+        )
+
+    def tree(self) -> ShortestPathTree:
+        """The post-failure SPT on ``G - E1`` (computed once, cached)."""
+        if self._tree is None:
+            self._tree = self._compute_tree()
+            self.sp_computations += 1
+        return self._tree
+
+    def recovery_path(self, destination: int) -> Optional[Path]:
+        """The shortest path initiator -> destination in ``G - E1``."""
+        tree = self.tree()
+        if not tree.reaches(destination):
+            return None
+        return tree.path_from(destination)
+
+
+def run_phase2(
+    topo: Topology,
+    view: LocalView,
+    engine: ForwardingEngine,
+    phase2: Phase2Engine,
+    destination: int,
+    accounting: RecoveryAccounting,
+) -> Phase2Result:
+    """Compute the recovery path for ``destination`` and deliver one packet.
+
+    Shortest-path computations are *not* counted here: the paper charges
+    one calculation per test case (§IV-C), which the caller records.
+    """
+    route = phase2.recovery_path(destination)
+    if route is None:
+        # Destination deemed unreachable: discard at the initiator (§II-C —
+        # packets toward unreachable destinations should die early).
+        return Phase2Result(
+            route=None,
+            delivered=False,
+            drop_node=phase2.initiator,
+            hops_traveled=0,
+            route_header_bytes=0,
+        )
+
+    header = RecoveryHeader(
+        mode=Mode.SOURCE_ROUTED,
+        rec_init=phase2.initiator,
+        source_route=list(route.nodes),
+    )
+    packet = Packet(
+        source=phase2.initiator, destination=destination, header=header
+    )
+    before = accounting.hops_traveled
+    delivered, drop_node = engine.follow_source_route(
+        packet, list(route.nodes), accounting
+    )
+    return Phase2Result(
+        route=route,
+        delivered=delivered,
+        drop_node=drop_node,
+        hops_traveled=accounting.hops_traveled - before,
+        route_header_bytes=header.recovery_bytes(),
+    )

@@ -1,0 +1,241 @@
+"""RTR: Reactive Two-phase Rerouting — the paper's contribution.
+
+:class:`RTR` ties the two phases together for one failure event:
+
+1. a router whose default next hop toward some destination became
+   unreachable invokes recovery (it is the *recovery initiator*),
+2. phase 1 walks a packet around the failure area collecting failed-link
+   ids (:mod:`repro.core.phase1`) — once per initiator, reused for every
+   affected destination,
+3. phase 2 computes the new shortest path on ``G - E1`` and source-routes
+   packets along it (:mod:`repro.core.phase2`).
+
+Accounting follows §IV: each test case is charged its phase-1 walk, exactly
+one shortest-path calculation, and the phase-2 delivery attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import SimulationError
+from ..failures import FailureScenario, LocalView
+from ..routing import RoutingTable
+from ..simulator import (
+    DEFAULT_DELAY_MODEL,
+    DEFAULT_PAYLOAD_BYTES,
+    DelayModel,
+    ForwardingEngine,
+    RecoveryAccounting,
+    RecoveryResult,
+)
+from ..topology import Topology
+from .phase1 import Phase1Result, run_phase1
+from .phase2 import Phase2Engine, run_phase2
+
+APPROACH_NAME = "RTR"
+
+
+@dataclass
+class RTRConfig:
+    """Behavioural knobs of RTR (defaults = the paper's design)."""
+
+    #: Enforce Constraints 1 and 2 (§III-C).  Disabling reproduces the
+    #: general-graph forwarding disorders of Figs. 4-5 (ablation).
+    use_constraints: bool = True
+    #: Phase-2 engine: incremental SPT update (§III-D) vs full Dijkstra.
+    use_incremental: bool = True
+    #: Mirror the sweep (ablation; the paper rotates counterclockwise).
+    clockwise: bool = False
+    #: Phase-1 collector: ``"sweep"`` (the paper's right-hand walk) or
+    #: ``"exhaustive"`` (the complete-but-costly DFS alternative §III-C
+    #: rejects — see :mod:`repro.core.exhaustive`).
+    collector: str = "sweep"
+    #: Per-hop delay model (default: the paper's fixed 1.8 ms).
+    delay_model: DelayModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.delay_model is None:
+            self.delay_model = DEFAULT_DELAY_MODEL
+        if self.collector not in ("sweep", "exhaustive"):
+            raise ValueError(f"unknown collector {self.collector!r}")
+
+
+class RTR:
+    """RTR recovery over one failure scenario.
+
+    The instance owns the per-initiator phase-1 cache and per-initiator
+    phase-2 trees, mirroring the state a real router would keep during one
+    IGP convergence window.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        scenario: FailureScenario,
+        routing: Optional[RoutingTable] = None,
+        config: Optional[RTRConfig] = None,
+    ) -> None:
+        self.topo = topo
+        self.scenario = scenario
+        self.view = LocalView(scenario)
+        #: The consistent pre-failure routing view (§II-A); used to find the
+        #: default next hop that triggers recovery.
+        self.routing = routing if routing is not None else RoutingTable(topo)
+        self.config = config or RTRConfig()
+        self.engine = ForwardingEngine(topo, self.view, self.config.delay_model)
+        self._phase1_cache: Dict[int, Phase1Result] = {}
+        self._phase2_cache: Dict[int, Phase2Engine] = {}
+
+    # ------------------------------------------------------------------
+
+    def phase1_for(self, initiator: int, trigger_neighbor: int) -> Phase1Result:
+        """The (cached) phase-1 result of ``initiator`` (§III-A: run once)."""
+        result = self._phase1_cache.get(initiator)
+        if result is None:
+            if self.config.collector == "exhaustive":
+                from .exhaustive import run_exhaustive_phase1
+
+                result = run_exhaustive_phase1(
+                    self.topo, self.view, initiator, trigger_neighbor, self.engine
+                )
+            else:
+                result = run_phase1(
+                    self.topo,
+                    self.view,
+                    initiator,
+                    trigger_neighbor,
+                    self.engine,
+                    use_constraints=self.config.use_constraints,
+                    clockwise=self.config.clockwise,
+                )
+            self._phase1_cache[initiator] = result
+        return result
+
+    def phase2_for(self, initiator: int, trigger_neighbor: int) -> Phase2Engine:
+        """The (cached) phase-2 engine of ``initiator``."""
+        engine = self._phase2_cache.get(initiator)
+        if engine is None:
+            phase1 = self.phase1_for(initiator, trigger_neighbor)
+            engine = Phase2Engine(
+                self.topo,
+                initiator,
+                phase1,
+                use_incremental=self.config.use_incremental,
+            )
+            self._phase2_cache[initiator] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        initiator: int,
+        destination: int,
+        trigger_neighbor: Optional[int] = None,
+    ) -> RecoveryResult:
+        """Run one full recovery test case and return its accounting.
+
+        ``trigger_neighbor`` defaults to the initiator's pre-failure default
+        next hop toward ``destination`` — which must be unreachable,
+        otherwise RTR would never have been invoked.
+        """
+        if not self.scenario.is_node_live(initiator):
+            raise SimulationError(f"recovery initiator {initiator} has failed")
+        if trigger_neighbor is None:
+            trigger_neighbor = self.routing.next_hop(initiator, destination)
+            if trigger_neighbor is None:
+                raise SimulationError(
+                    f"{initiator} has no pre-failure route toward {destination}"
+                )
+        if self.view.is_neighbor_reachable(initiator, trigger_neighbor):
+            raise SimulationError(
+                f"default next hop {trigger_neighbor} of {initiator} is still "
+                f"reachable; RTR is only invoked on failure (§II-B)"
+            )
+
+        phase1 = self.phase1_for(initiator, trigger_neighbor)
+        phase2 = self.phase2_for(initiator, trigger_neighbor)
+
+        # Per-test-case accounting (§IV): the walk is attributed to every
+        # test case of this initiator, and each case counts one SP
+        # calculation regardless of tree caching.
+        accounting = RecoveryAccounting()
+        accounting.clock = phase1.duration
+        accounting.hops_traveled = phase1.hops
+        accounting.header_timeline = list(phase1.header_timeline)
+        accounting.count_sp(1)
+
+        outcome = run_phase2(
+            self.topo, self.view, self.engine, phase2, destination, accounting
+        )
+
+        # Wasted transmission (§IV-D): ``h`` is the hops from the recovery
+        # initiator to the node discarding the packet.  The phase-1 walk is
+        # not waste — it is the (separately accounted) transmission overhead
+        # that produces the failure information — so RTR wastes hops only
+        # when phase 2 computed a route that turned out to contain a missed
+        # failure.  When no route exists, packets die at the initiator
+        # itself (h = 0), which is exactly the early discard of §II-C.
+        if outcome.delivered:
+            drop_hops = 0
+            drop_bytes = 0
+        elif outcome.route is None:
+            drop_hops = 0
+            drop_bytes = DEFAULT_PAYLOAD_BYTES + _phase1_final_header_bytes(phase1)
+        else:
+            # The route contained a failure phase 1 missed (§III-D).
+            drop_hops = outcome.hops_traveled
+            drop_bytes = DEFAULT_PAYLOAD_BYTES + outcome.route_header_bytes
+
+        return RecoveryResult(
+            approach=APPROACH_NAME,
+            delivered=outcome.delivered,
+            path=outcome.route if outcome.delivered else None,
+            accounting=accounting,
+            phase1_duration=phase1.duration,
+            phase1_hops=phase1.hops,
+            drop_hops=drop_hops,
+            drop_packet_bytes=drop_bytes,
+        )
+
+    def recover_flow(self, source: int, destination: int) -> RecoveryResult:
+        """Recover the failed default routing path ``source -> destination``.
+
+        Walks the pre-failure path to the node that detects the failure (the
+        recovery initiator, §II-B) and runs recovery there.
+        """
+        initiator, trigger = self.find_initiator(source, destination)
+        return self.recover(initiator, destination, trigger)
+
+    def find_initiator(self, source: int, destination: int) -> tuple:
+        """The node on the default path that detects the failure.
+
+        Returns ``(initiator, unreachable_next_hop)``.  Raises when the
+        source failed, when there is no pre-failure route, or when the
+        default path did not fail at all (RTR is never invoked then).
+        """
+        if not self.scenario.is_node_live(source):
+            raise SimulationError(f"source {source} has failed; nothing to recover")
+        path = self.routing.path(source, destination)
+        if path is None:
+            raise SimulationError(
+                f"no pre-failure route {source} -> {destination}"
+            )
+        for node, nxt in path.hops():
+            if not self.view.is_neighbor_reachable(node, nxt):
+                return node, nxt
+        raise SimulationError(
+            f"default path {source} -> {destination} did not fail"
+        )
+
+
+def _phase1_final_header_bytes(phase1: Phase1Result) -> int:
+    """Recovery header size at the end of the phase-1 walk."""
+    if phase1.header_timeline:
+        return phase1.header_timeline[-1][1]
+    # Isolated initiator: the packet never left, only fixed fields existed.
+    from ..simulator import FIXED_RTR_HEADER_BYTES
+
+    return FIXED_RTR_HEADER_BYTES

@@ -1,0 +1,100 @@
+"""The right-hand sweeping rule (§III-B).
+
+Phase 1 steers packets around the failure area by rotating a *sweeping
+line* counterclockwise about the current node, starting from a reference
+link, until it reaches a live neighbor:
+
+* at the recovery initiator ``v_i`` whose default next hop ``v_j`` is
+  unreachable, the sweeping line starts at link ``e_{i,j}``;
+* at any other node ``v_m`` that received the packet from ``v_n``, the
+  sweeping line starts at link ``e_{m,n}``.
+
+On general graphs the sweep additionally skips candidates excluded by the
+``cross_link`` constraints (§III-C) — see :mod:`repro.core.constraints`.
+
+The previous hop itself is a valid candidate but sorts *last* (angle
+``2*pi``), which is what makes packets back out of tree branches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..failures import LocalView
+from ..geometry import TWO_PI, ccw_angle
+from ..topology import Link, Topology
+
+#: Predicate deciding whether the link from the current node to a candidate
+#: neighbor is excluded by the cross-link constraints.
+ExclusionFn = Callable[[Link], bool]
+
+
+def neighbor_sweep_order(
+    topo: Topology,
+    current: int,
+    reference_neighbor: int,
+    clockwise: bool = False,
+) -> List[Tuple[float, int, int]]:
+    """Neighbors of ``current`` in sweep order from the reference direction.
+
+    Returns ``(angle, node_id, node)`` triples sorted by counterclockwise
+    angle from the direction of ``reference_neighbor`` (clockwise when
+    ``clockwise`` — the mirror ablation of DESIGN.md §4).  The reference
+    neighbor itself appears with angle ``2*pi``.  Node id breaks exact angle
+    ties deterministically.
+    """
+    origin = topo.position(current)
+    reference_dir = topo.position(reference_neighbor) - origin
+    entries: List[Tuple[float, int, int]] = []
+    for nb in topo.neighbors(current):
+        target_dir = topo.position(nb) - origin
+        angle = ccw_angle(reference_dir, target_dir)
+        if clockwise and angle < TWO_PI:
+            # Mirror the sweep; the reference stays at the end of the order.
+            angle = TWO_PI - angle
+        entries.append((angle, nb, nb))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    return entries
+
+
+def select_next_hop(
+    topo: Topology,
+    view: LocalView,
+    current: int,
+    reference_neighbor: int,
+    is_excluded: Optional[ExclusionFn] = None,
+    clockwise: bool = False,
+) -> Optional[int]:
+    """The live, non-excluded neighbor the sweeping rule selects.
+
+    ``None`` when every neighbor is unreachable or excluded — only possible
+    at an isolated initiator; §III-C notes an interior node can always fall
+    back to its previous hop.
+    """
+    for _angle, _tiebreak, nb in neighbor_sweep_order(
+        topo, current, reference_neighbor, clockwise
+    ):
+        if not view.is_neighbor_reachable(current, nb):
+            continue
+        if is_excluded is not None and is_excluded(Link.of(current, nb)):
+            continue
+        return nb
+    return None
+
+
+def first_hop(
+    topo: Topology,
+    view: LocalView,
+    initiator: int,
+    unreachable_next_hop: int,
+    is_excluded: Optional[ExclusionFn] = None,
+    clockwise: bool = False,
+) -> Optional[int]:
+    """Case 1 of §III-B: the initiator's first hop.
+
+    The sweeping line starts at the link to the unreachable default next
+    hop; the rule is otherwise identical to the interior-node case.
+    """
+    return select_next_hop(
+        topo, view, initiator, unreachable_next_hop, is_excluded, clockwise
+    )

@@ -1,0 +1,71 @@
+"""Empirical CDF utilities for the figure reproductions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF as ``(value, P[X <= value])`` step points."""
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    for i, v in enumerate(data, start=1):
+        if points and points[-1][0] == v:
+            points[-1] = (v, i / n)
+        else:
+            points.append((v, i / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """``P[X <= x]`` of the empirical distribution."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= x) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by nearest-rank (ceil, the classic rule)."""
+    if not values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    import math
+
+    data = sorted(values)
+    rank = max(1, math.ceil(q * len(data)))
+    return data[min(rank, len(data)) - 1]
+
+
+def sampled_cdf(
+    values: Sequence[float], xs: Iterable[float]
+) -> List[Tuple[float, float]]:
+    """The CDF sampled at the given x positions (for aligned plotting)."""
+    data = sorted(values)
+    n = len(data)
+    out: List[Tuple[float, float]] = []
+    i = 0
+    for x in sorted(xs):
+        while i < n and data[i] <= x:
+            i += 1
+        out.append((x, i / n if n else 0.0))
+    return out
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max / median of a sample (empty-safe)."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "median": 0.0}
+    data = sorted(values)
+    n = len(data)
+    mid = data[n // 2] if n % 2 == 1 else (data[n // 2 - 1] + data[n // 2]) / 2.0
+    return {
+        "count": n,
+        "mean": sum(data) / n,
+        "min": data[0],
+        "max": data[-1],
+        "median": mid,
+    }

@@ -1,0 +1,190 @@
+"""Recovery-episode artifacts: record, save, load, replay.
+
+A recorded episode captures everything needed to reproduce one recovery
+run bit-for-bit — the topology, the failure (region parameters and the
+derived failed sets), the test case, and the observed outcome (walk,
+collected links, recovery path, accounting).  Episodes serialize to JSON,
+so experiment outputs can be archived next to the numbers they produced
+and replayed later: :func:`replay` re-runs RTR on the reconstructed world
+and verifies the recorded outcome still holds (a drift detector for the
+protocol implementation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core import RTR, RTRConfig
+from ..errors import EvaluationError
+from ..failures import FailureScenario
+from ..geometry import Circle, Point
+from ..topology import Link, Topology, topology_from_dict, topology_to_dict
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Episode:
+    """One fully reproducible recovery run."""
+
+    topology: Topology
+    scenario: FailureScenario
+    initiator: int
+    destination: int
+    trigger: int
+    #: Observed outcome.
+    delivered: bool
+    walk: List[int]
+    collected_failed_links: List[Link]
+    recovery_path: Optional[List[int]]
+    sp_computations: int
+    phase1_duration: float
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        region = self.scenario.region
+        region_dict = None
+        if isinstance(region, Circle):
+            region_dict = {
+                "type": "circle",
+                "cx": region.center.x,
+                "cy": region.center.y,
+                "radius": region.radius,
+            }
+        return {
+            "format": FORMAT_VERSION,
+            "topology": topology_to_dict(self.topology),
+            "region": region_dict,
+            "failed_nodes": sorted(self.scenario.failed_nodes),
+            "failed_links": sorted(
+                [link.u, link.v] for link in self.scenario.failed_links
+            ),
+            "case": {
+                "initiator": self.initiator,
+                "destination": self.destination,
+                "trigger": self.trigger,
+            },
+            "outcome": {
+                "delivered": self.delivered,
+                "walk": self.walk,
+                "collected_failed_links": [
+                    [link.u, link.v] for link in self.collected_failed_links
+                ],
+                "recovery_path": self.recovery_path,
+                "sp_computations": self.sp_computations,
+                "phase1_duration": self.phase1_duration,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Episode":
+        """Rebuild an episode from :meth:`to_dict` output."""
+        if data.get("format") != FORMAT_VERSION:
+            raise EvaluationError(f"unsupported episode format {data.get('format')!r}")
+        topo = topology_from_dict(data["topology"])
+        region = None
+        if data.get("region") and data["region"]["type"] == "circle":
+            r = data["region"]
+            region = Circle(Point(r["cx"], r["cy"]), r["radius"])
+        scenario = FailureScenario(
+            topo,
+            failed_nodes=data["failed_nodes"],
+            failed_links=[Link.of(u, v) for u, v in data["failed_links"]],
+            region=region,
+        )
+        case = data["case"]
+        outcome = data["outcome"]
+        return cls(
+            topology=topo,
+            scenario=scenario,
+            initiator=case["initiator"],
+            destination=case["destination"],
+            trigger=case["trigger"],
+            delivered=outcome["delivered"],
+            walk=list(outcome["walk"]),
+            collected_failed_links=[
+                Link.of(u, v) for u, v in outcome["collected_failed_links"]
+            ],
+            recovery_path=outcome["recovery_path"],
+            sp_computations=outcome["sp_computations"],
+            phase1_duration=outcome["phase1_duration"],
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the episode as JSON."""
+        target = Path(path)
+        target.write_text(json.dumps(self.to_dict(), indent=2))
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Episode":
+        """Read an episode written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def record(
+    topo: Topology,
+    scenario: FailureScenario,
+    initiator: int,
+    destination: int,
+    trigger: Optional[int] = None,
+    config: Optional[RTRConfig] = None,
+) -> Episode:
+    """Run one RTR recovery and capture it as an :class:`Episode`."""
+    rtr = RTR(topo, scenario, config=config)
+    result = rtr.recover(initiator, destination, trigger)
+    actual_trigger = trigger
+    if actual_trigger is None:
+        actual_trigger = rtr.routing.next_hop(initiator, destination)
+    phase1 = rtr.phase1_for(initiator, actual_trigger)
+    return Episode(
+        topology=topo,
+        scenario=scenario,
+        initiator=initiator,
+        destination=destination,
+        trigger=actual_trigger,
+        delivered=result.delivered,
+        walk=list(phase1.walk),
+        collected_failed_links=list(phase1.collected_failed_links),
+        recovery_path=list(result.path.nodes) if result.path else None,
+        sp_computations=result.sp_computations,
+        phase1_duration=phase1.duration,
+    )
+
+
+class ReplayMismatch(EvaluationError):
+    """A replayed episode diverged from its recording."""
+
+
+def replay(episode: Episode, config: Optional[RTRConfig] = None) -> None:
+    """Re-run the episode and raise :class:`ReplayMismatch` on divergence."""
+    fresh = record(
+        episode.topology,
+        episode.scenario,
+        episode.initiator,
+        episode.destination,
+        episode.trigger,
+        config=config,
+    )
+    checks = [
+        ("delivered", episode.delivered, fresh.delivered),
+        ("walk", episode.walk, fresh.walk),
+        (
+            "collected_failed_links",
+            episode.collected_failed_links,
+            fresh.collected_failed_links,
+        ),
+        ("recovery_path", episode.recovery_path, fresh.recovery_path),
+        ("sp_computations", episode.sp_computations, fresh.sp_computations),
+    ]
+    for name, recorded, replayed in checks:
+        if recorded != replayed:
+            raise ReplayMismatch(
+                f"episode field {name!r} diverged: "
+                f"recorded {recorded!r}, replayed {replayed!r}"
+            )

@@ -1,0 +1,369 @@
+"""Experiment drivers — one function per table/figure of §IV.
+
+Every driver returns plain data (dicts / lists of rows or CDF points) so
+the same code feeds the benchmark harness, the examples, and
+EXPERIMENTS.md.  Scale is a parameter everywhere: the paper uses 10,000
+recoverable + 10,000 irrecoverable cases per topology and 1,000 failure
+areas per radius; the defaults here are laptop-sized, and
+``examples/full_evaluation.py --paper-scale`` runs the full counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..failures import fixed_radius_scenarios
+from ..routing import RoutingTable
+from ..topology import Topology, isp_catalog
+from .cases import (
+    CaseSet,
+    count_failed_routing_paths,
+    generate_cases,
+)
+from .cdf import cdf_points, summarize
+from .metrics import (
+    CaseRecord,
+    phase1_duration_values,
+    savings_ratio,
+    sp_computation_values,
+    stretch_values,
+    summarize_irrecoverable,
+    summarize_recoverable,
+    wasted_transmission_values,
+)
+from .runner import ALL_APPROACHES, EvaluationRunner
+
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = tuple(isp_catalog.names())
+
+
+def _build_topology(name: str, seed: int) -> Topology:
+    return isp_catalog.build(name, seed=seed)
+
+
+def _cases_and_records(
+    name: str,
+    n_recoverable: int,
+    n_irrecoverable: int,
+    seed: int,
+    approaches: Sequence[str],
+) -> Tuple[CaseSet, Dict[str, List[CaseRecord]]]:
+    topo = _build_topology(name, seed)
+    rng = random.Random(seed * 7_919 + 13)
+    case_set = generate_cases(topo, rng, n_recoverable, n_irrecoverable)
+    runner = EvaluationRunner(topo, routing=case_set.routing, approaches=approaches)
+    records = runner.run(case_set)
+    return case_set, records
+
+
+def _split_records(
+    case_set: CaseSet, records: Dict[str, List[CaseRecord]]
+) -> Tuple[Dict[str, List[CaseRecord]], Dict[str, List[CaseRecord]]]:
+    recoverable: Dict[str, List[CaseRecord]] = {}
+    irrecoverable: Dict[str, List[CaseRecord]] = {}
+    for approach, recs in records.items():
+        recoverable[approach] = [r for r in recs if r.case.recoverable]
+        irrecoverable[approach] = [r for r in recs if not r.case.recoverable]
+    return recoverable, irrecoverable
+
+
+# ----------------------------------------------------------------------
+# Table II — topology summary
+# ----------------------------------------------------------------------
+
+
+def table2_topologies(seed: int = 0, include_extended: bool = False) -> List[Dict]:
+    """Table II: per-AS node and link counts, verified against a build."""
+    rows: List[Dict] = []
+    for row in isp_catalog.summary_rows(include_extended):
+        topo = _build_topology(str(row["topology"]), seed)
+        rows.append(
+            {
+                **row,
+                "built_nodes": topo.node_count,
+                "built_links": topo.link_count,
+                "connected": topo.is_connected(),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — CDF of the duration of the first phase
+# ----------------------------------------------------------------------
+
+
+def fig7_phase1_duration(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_recoverable: int = 300,
+    n_irrecoverable: int = 300,
+    seed: int = 0,
+) -> Dict[str, Dict]:
+    """Fig. 7: per-topology CDF of RTR's phase-1 duration in milliseconds.
+
+    RTR has the same first phase in recoverable and irrecoverable cases, so
+    both populations contribute (§IV-B).
+    """
+    out: Dict[str, Dict] = {}
+    for name in topologies:
+        _cs, records = _cases_and_records(
+            name, n_recoverable, n_irrecoverable, seed, approaches=("RTR",)
+        )
+        durations_ms = [1000.0 * d for d in phase1_duration_values(records["RTR"])]
+        out[name] = {
+            "cdf": cdf_points(durations_ms),
+            "summary": summarize(durations_ms),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Table III + Figs. 8-9 — recoverable test cases
+# ----------------------------------------------------------------------
+
+
+def table3_recoverable(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 300,
+    seed: int = 0,
+    approaches: Sequence[str] = ALL_APPROACHES,
+) -> Dict[str, Dict]:
+    """Table III: recovery rate / optimal rate / max stretch / max SP calcs.
+
+    Returns ``topology -> {approach -> summary row}`` plus an ``Overall``
+    entry aggregated across every topology, as the paper's last row.
+    """
+    per_topo: Dict[str, Dict] = {}
+    pooled: Dict[str, List[CaseRecord]] = {a: [] for a in approaches}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, n_cases, 0, seed, approaches)
+        rec, _irr = _split_records(case_set, records)
+        per_topo[name] = {
+            a: summarize_recoverable(rec[a]).as_dict() for a in approaches
+        }
+        for a in approaches:
+            pooled[a].extend(rec[a])
+    per_topo["Overall"] = {
+        a: summarize_recoverable(pooled[a]).as_dict() for a in approaches
+    }
+    return per_topo
+
+
+def fig8_stretch(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 300,
+    seed: int = 0,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 8: CDF of the stretch of successfully recovered paths."""
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, n_cases, 0, seed, approaches)
+        rec, _ = _split_records(case_set, records)
+        out[name] = {a: cdf_points(stretch_values(rec[a])) for a in approaches}
+    return out
+
+
+def fig9_sp_computations(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 300,
+    seed: int = 0,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 9: CDF of shortest-path calculations on recoverable cases."""
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, n_cases, 0, seed, approaches)
+        rec, _ = _split_records(case_set, records)
+        out[name] = {
+            a: cdf_points([float(v) for v in sp_computation_values(rec[a])])
+            for a in approaches
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — transmission overhead over time
+# ----------------------------------------------------------------------
+
+
+def _overhead_at(record: CaseRecord, t: float) -> float:
+    """Recovery header bytes on the wire at time ``t`` for one case.
+
+    During the recorded per-hop timeline the in-flight hop's header size
+    applies; afterwards the steady state is the phase-2 source route (RTR)
+    or the final header (FCP) for delivered cases, and 0 for dropped ones
+    (packets toward unreachable destinations die at the initiator).
+    """
+    timeline = record.result.accounting.header_timeline
+    for when, header_bytes in timeline:
+        if t < when:
+            return float(header_bytes)
+    if not record.result.delivered:
+        return 0.0
+    if record.result.approach == "RTR":
+        path = record.result.path
+        assert path is not None
+        from ..simulator import BYTES_PER_ID, FIXED_RTR_HEADER_BYTES
+
+        return float(FIXED_RTR_HEADER_BYTES + BYTES_PER_ID * len(path.nodes))
+    if timeline:
+        return float(timeline[-1][1])
+    return 0.0
+
+
+def fig10_transmission_timeline(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 200,
+    seed: int = 0,
+    horizon: float = 1.0,
+    step: float = 0.02,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 10: average header overhead (bytes) vs time, first second.
+
+    RTR starts high while first-phase packets carry growing failed/cross
+    link lists, then converges to the (smaller) source-route size; FCP
+    converges to its final failed-links + source-route header.
+    """
+    times = [round(i * step, 9) for i in range(int(horizon / step) + 1)]
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, n_cases, 0, seed, approaches)
+        rec, _ = _split_records(case_set, records)
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for a in approaches:
+            recs = rec[a]
+            pts = []
+            for t in times:
+                total = sum(_overhead_at(r, t) for r in recs)
+                pts.append((t, total / len(recs) if recs else 0.0))
+            series[a] = pts
+        out[name] = series
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — share of irrecoverable failed routing paths vs radius
+# ----------------------------------------------------------------------
+
+
+def fig11_irrecoverable_fraction(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    radii: Optional[Iterable[float]] = None,
+    n_areas_per_radius: int = 50,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Fig. 11: percentage of failed routing paths that are irrecoverable.
+
+    The paper sweeps the radius from 20 to 300 in increments of 20 with
+    1,000 areas per radius.  Counts are over *failed routing paths* — all
+    source-destination pairs with a live source whose default path
+    contains a failed element — classified by whether the destination is
+    still reachable from the source in ``G - E2``.
+    """
+    radius_list = list(radii) if radii is not None else [20.0 * i for i in range(1, 16)]
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for name in topologies:
+        topo = _build_topology(name, seed)
+        routing = RoutingTable(topo)
+        routing.precompute_all()
+        series: List[Tuple[float, float]] = []
+        for radius in radius_list:
+            rng = random.Random((seed + 1) * 104_729 + int(radius * 1000))
+            gen = fixed_radius_scenarios(topo, rng, radius)
+            recoverable = irrecoverable = 0
+            for _ in range(n_areas_per_radius):
+                scenario = next(gen)
+                if not scenario.failed_links:
+                    continue
+                rec, irr = count_failed_routing_paths(topo, routing, scenario)
+                recoverable += rec
+                irrecoverable += irr
+            total = recoverable + irrecoverable
+            pct = 100.0 * irrecoverable / total if total else 0.0
+            series.append((radius, pct))
+        out[name] = series
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figs. 12-13 + Table IV — irrecoverable test cases
+# ----------------------------------------------------------------------
+
+
+def fig12_wasted_computation(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 300,
+    seed: int = 0,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 12: CDF of wasted shortest-path calculations."""
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, 0, n_cases, seed, approaches)
+        _, irr = _split_records(case_set, records)
+        out[name] = {
+            a: cdf_points([float(v) for v in sp_computation_values(irr[a])])
+            for a in approaches
+        }
+    return out
+
+
+def fig13_wasted_transmission(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 300,
+    seed: int = 0,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 13: CDF of wasted transmission (``s * h``, §IV-D)."""
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, 0, n_cases, seed, approaches)
+        _, irr = _split_records(case_set, records)
+        out[name] = {
+            a: cdf_points(wasted_transmission_values(irr[a])) for a in approaches
+        }
+    return out
+
+
+def table4_wasted_summary(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_cases: int = 300,
+    seed: int = 0,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict]:
+    """Table IV: avg/max wasted computation and transmission, plus the
+    headline savings of §I (83.1 % computation, 75.6 % transmission)."""
+    per_topo: Dict[str, Dict] = {}
+    pooled: Dict[str, List[CaseRecord]] = {a: [] for a in approaches}
+    for name in topologies:
+        case_set, records = _cases_and_records(name, 0, n_cases, seed, approaches)
+        _, irr = _split_records(case_set, records)
+        per_topo[name] = {
+            a: summarize_irrecoverable(irr[a]).as_dict() for a in approaches
+        }
+        for a in approaches:
+            pooled[a].extend(irr[a])
+    overall = {a: summarize_irrecoverable(pooled[a]) for a in approaches}
+    per_topo["Overall"] = {a: overall[a].as_dict() for a in approaches}
+    if "RTR" in overall and "FCP" in overall:
+        per_topo["Savings"] = {
+            "computation_saved_pct": round(
+                100.0
+                * savings_ratio(
+                    overall["FCP"].avg_wasted_computation,
+                    overall["RTR"].avg_wasted_computation,
+                ),
+                1,
+            ),
+            "transmission_saved_pct": round(
+                100.0
+                * savings_ratio(
+                    overall["FCP"].avg_wasted_transmission,
+                    overall["RTR"].avg_wasted_transmission,
+                ),
+                1,
+            ),
+        }
+    return per_topo

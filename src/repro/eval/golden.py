@@ -1,0 +1,89 @@
+"""Golden-output regression harness.
+
+Every simulation in this repository is deterministic for a fixed seed, so
+a small, fast experiment run can be snapshotted and compared exactly —
+catching *behavioural* drift (a changed sweep tie-break, an accounting
+tweak) that the property-based tests might tolerate.  The checked-in
+snapshot lives at ``tests/golden/small_run.json``; regenerate it
+deliberately with ``python -m repro.eval.golden`` after an intentional
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .experiments import (
+    fig7_phase1_duration,
+    table3_recoverable,
+    table4_wasted_summary,
+)
+
+#: Parameters of the snapshot run — small enough for CI, fixed forever.
+GOLDEN_TOPOLOGIES = ("AS1239", "AS209")
+GOLDEN_CASES = 80
+GOLDEN_SEED = 5
+
+DEFAULT_PATH = (
+    Path(__file__).resolve().parents[3] / "tests" / "golden" / "small_run.json"
+)
+
+
+def compute_snapshot() -> Dict[str, Any]:
+    """Run the snapshot experiments and return a JSON-ready dict."""
+    fig7 = fig7_phase1_duration(
+        GOLDEN_TOPOLOGIES,
+        n_recoverable=GOLDEN_CASES,
+        n_irrecoverable=GOLDEN_CASES // 2,
+        seed=GOLDEN_SEED,
+    )
+    return {
+        "parameters": {
+            "topologies": list(GOLDEN_TOPOLOGIES),
+            "cases": GOLDEN_CASES,
+            "seed": GOLDEN_SEED,
+        },
+        "table3": table3_recoverable(GOLDEN_TOPOLOGIES, GOLDEN_CASES, GOLDEN_SEED),
+        "table4": table4_wasted_summary(GOLDEN_TOPOLOGIES, GOLDEN_CASES, GOLDEN_SEED),
+        "fig7_summaries": {
+            name: data["summary"] for name, data in fig7.items()
+        },
+    }
+
+
+def write_snapshot(path: Union[str, Path] = DEFAULT_PATH) -> Path:
+    """Compute and persist the golden snapshot."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(compute_snapshot(), indent=2, sort_keys=True))
+    return target
+
+
+def load_snapshot(path: Union[str, Path] = DEFAULT_PATH) -> Dict[str, Any]:
+    """Read the stored golden snapshot."""
+    return json.loads(Path(path).read_text())
+
+
+def diff_against_golden(path: Union[str, Path] = DEFAULT_PATH) -> Dict[str, Any]:
+    """Compare a fresh run to the snapshot; returns {} when identical.
+
+    The comparison is exact after a JSON round-trip (which normalizes
+    tuples to lists and float representations).
+    """
+    expected = load_snapshot(path)
+    actual = json.loads(json.dumps(compute_snapshot(), sort_keys=True))
+    differences: Dict[str, Any] = {}
+    for key in sorted(set(expected) | set(actual)):
+        if expected.get(key) != actual.get(key):
+            differences[key] = {
+                "expected": expected.get(key),
+                "actual": actual.get(key),
+            }
+    return differences
+
+
+if __name__ == "__main__":
+    destination = write_snapshot()
+    print(f"golden snapshot written to {destination}")

@@ -1,0 +1,177 @@
+"""Evaluation metrics (§IV-C, §IV-D).
+
+* **Recovery rate** — share of successfully recovered test cases.
+* **Optimal recovery rate** — share recovered with the *shortest* recovery
+  path (equal cost to the ground-truth shortest path in ``G - E2``).
+* **Stretch** — recovery-path cost over optimal cost (1.0 is optimal).
+* **Computational overhead** — on-demand shortest-path calculations.
+* **Transmission overhead** — recovery bytes carried in packet headers.
+* **Wasted computation / transmission** — the same costs spent on packets
+  that are ultimately discarded (irrecoverable cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..simulator import RecoveryResult
+from .cases import TestCase
+from .cdf import summarize
+
+#: Tolerance when comparing path costs for optimality.
+COST_TOLERANCE = 1e-9
+
+
+@dataclass
+class CaseRecord:
+    """One (test case, approach) outcome with derived metrics."""
+
+    case: TestCase
+    result: RecoveryResult
+
+    @property
+    def approach(self) -> str:
+        """Name of the recovery approach."""
+        return self.result.approach
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet reached the destination."""
+        return self.result.delivered
+
+    def stretch(self) -> Optional[float]:
+        """Recovery-path cost over optimal cost (delivered cases only)."""
+        if not self.delivered or self.case.optimal_cost is None:
+            return None
+        if self.case.optimal_cost == 0:
+            return 1.0
+        assert self.result.path is not None
+        return self.result.path.cost / self.case.optimal_cost
+
+    def is_optimal(self) -> bool:
+        """Whether the recovery path matched the ground-truth shortest."""
+        s = self.stretch()
+        return s is not None and abs(s - 1.0) <= COST_TOLERANCE
+
+
+@dataclass
+class RecoverableSummary:
+    """The Table III row of one approach on one topology."""
+
+    approach: str
+    cases: int
+    recovery_rate: float
+    optimal_recovery_rate: float
+    max_stretch: float
+    max_sp_computations: int
+    mean_sp_computations: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row form for reports."""
+        return {
+            "approach": self.approach,
+            "cases": self.cases,
+            "recovery_rate_pct": round(100.0 * self.recovery_rate, 1),
+            "optimal_recovery_rate_pct": round(
+                100.0 * self.optimal_recovery_rate, 1
+            ),
+            "max_stretch": round(self.max_stretch, 2),
+            "max_sp_computations": self.max_sp_computations,
+            "mean_sp_computations": round(self.mean_sp_computations, 2),
+        }
+
+
+def summarize_recoverable(records: Sequence[CaseRecord]) -> RecoverableSummary:
+    """Aggregate recoverable-case records into a Table III row."""
+    if not records:
+        raise ValueError("no records to summarize")
+    approach = records[0].approach
+    n = len(records)
+    delivered = [r for r in records if r.delivered]
+    optimal = [r for r in delivered if r.is_optimal()]
+    stretches = [r.stretch() for r in delivered]
+    sp = [r.result.sp_computations for r in records]
+    return RecoverableSummary(
+        approach=approach,
+        cases=n,
+        recovery_rate=len(delivered) / n,
+        optimal_recovery_rate=len(optimal) / n,
+        max_stretch=max((s for s in stretches if s is not None), default=0.0),
+        max_sp_computations=max(sp),
+        mean_sp_computations=sum(sp) / n,
+    )
+
+
+@dataclass
+class IrrecoverableSummary:
+    """The Table IV row of one approach on one topology."""
+
+    approach: str
+    cases: int
+    avg_wasted_computation: float
+    max_wasted_computation: int
+    avg_wasted_transmission: float
+    max_wasted_transmission: float
+    false_deliveries: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row form for reports."""
+        return {
+            "approach": self.approach,
+            "cases": self.cases,
+            "avg_wasted_computation": round(self.avg_wasted_computation, 2),
+            "max_wasted_computation": self.max_wasted_computation,
+            "avg_wasted_transmission": round(self.avg_wasted_transmission, 1),
+            "max_wasted_transmission": round(self.max_wasted_transmission, 1),
+        }
+
+
+def summarize_irrecoverable(records: Sequence[CaseRecord]) -> IrrecoverableSummary:
+    """Aggregate irrecoverable-case records into a Table IV row."""
+    if not records:
+        raise ValueError("no records to summarize")
+    approach = records[0].approach
+    sp = [r.result.sp_computations for r in records]
+    wasted = [r.result.wasted_transmission() for r in records]
+    return IrrecoverableSummary(
+        approach=approach,
+        cases=len(records),
+        avg_wasted_computation=sum(sp) / len(sp),
+        max_wasted_computation=max(sp),
+        avg_wasted_transmission=sum(wasted) / len(wasted),
+        max_wasted_transmission=max(wasted),
+        false_deliveries=sum(1 for r in records if r.delivered),
+    )
+
+
+def stretch_values(records: Sequence[CaseRecord]) -> List[float]:
+    """Stretch of every delivered case (Fig. 8's sample)."""
+    return [s for r in records if (s := r.stretch()) is not None]
+
+
+def sp_computation_values(records: Sequence[CaseRecord]) -> List[int]:
+    """Shortest-path calculation counts (Figs. 9 and 12's samples)."""
+    return [r.result.sp_computations for r in records]
+
+
+def wasted_transmission_values(records: Sequence[CaseRecord]) -> List[float]:
+    """Wasted transmission of every record (Fig. 13's sample)."""
+    return [r.result.wasted_transmission() for r in records]
+
+
+def phase1_duration_values(records: Sequence[CaseRecord]) -> List[float]:
+    """Phase-1 durations in seconds (Fig. 7's sample; RTR only)."""
+    return [r.result.phase1_duration for r in records]
+
+
+def savings_ratio(baseline: float, ours: float) -> float:
+    """Fractional saving of ``ours`` relative to ``baseline`` (§I claims)."""
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - ours / baseline
+
+
+def describe_sample(values: Sequence[float]) -> Dict[str, float]:
+    """Shortcut to :func:`repro.eval.cdf.summarize`."""
+    return summarize(values)

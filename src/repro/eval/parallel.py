@@ -1,0 +1,128 @@
+"""Parallel experiment execution for paper-scale runs.
+
+The paper's evaluation is 10,000 + 10,000 cases on each of eight
+topologies; topologies are embarrassingly parallel, so these wrappers
+fan the per-topology work of the Table III / Table IV drivers across a
+process pool.  Results are identical to the serial drivers for the same
+seed (asserted by tests): the per-topology RNG stream never depends on
+execution order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import summarize_irrecoverable, summarize_recoverable
+from .runner import ALL_APPROACHES
+
+# Module-level workers: ProcessPoolExecutor requires picklable callables.
+
+
+def _table3_worker(args) -> tuple:
+    name, n_cases, seed, approaches = args
+    from .experiments import _cases_and_records, _split_records
+
+    case_set, records = _cases_and_records(name, n_cases, 0, seed, approaches)
+    recoverable, _ = _split_records(case_set, records)
+    summary = {a: summarize_recoverable(recoverable[a]).as_dict() for a in approaches}
+    pooled = {
+        a: [
+            (r.delivered, r.is_optimal(), r.stretch(), r.result.sp_computations)
+            for r in recoverable[a]
+        ]
+        for a in approaches
+    }
+    return name, summary, pooled
+
+
+def _table4_worker(args) -> tuple:
+    name, n_cases, seed, approaches = args
+    from .experiments import _cases_and_records, _split_records
+
+    case_set, records = _cases_and_records(name, 0, n_cases, seed, approaches)
+    _, irrecoverable = _split_records(case_set, records)
+    summary = {
+        a: summarize_irrecoverable(irrecoverable[a]).as_dict() for a in approaches
+    }
+    pooled = {
+        a: [
+            (r.result.sp_computations, r.result.wasted_transmission())
+            for r in irrecoverable[a]
+        ]
+        for a in approaches
+    }
+    return name, summary, pooled
+
+
+def _overall_recoverable(pooled_rows: Dict[str, List[tuple]]) -> Dict[str, Dict]:
+    overall: Dict[str, Dict] = {}
+    for approach, rows in pooled_rows.items():
+        n = len(rows)
+        delivered = sum(1 for d, _o, _s, _c in rows if d)
+        optimal = sum(1 for _d, o, _s, _c in rows if o)
+        stretches = [s for _d, _o, s, _c in rows if s is not None]
+        sp = [c for _d, _o, _s, c in rows]
+        overall[approach] = {
+            "approach": approach,
+            "cases": n,
+            "recovery_rate_pct": round(100.0 * delivered / n, 1),
+            "optimal_recovery_rate_pct": round(100.0 * optimal / n, 1),
+            "max_stretch": round(max(stretches), 2) if stretches else 0.0,
+            "max_sp_computations": max(sp) if sp else 0,
+            "mean_sp_computations": round(sum(sp) / n, 2) if n else 0.0,
+        }
+    return overall
+
+
+def parallel_table3(
+    topologies: Sequence[str],
+    n_cases: int,
+    seed: int = 0,
+    approaches: Sequence[str] = ALL_APPROACHES,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict]:
+    """Table III across topologies using a process pool."""
+    work = [(name, n_cases, seed, tuple(approaches)) for name in topologies]
+    results: Dict[str, Dict] = {}
+    pooled: Dict[str, List[tuple]] = {a: [] for a in approaches}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for name, summary, rows in pool.map(_table3_worker, work):
+            results[name] = summary
+            for a in approaches:
+                pooled[a].extend(rows[a])
+    results["Overall"] = _overall_recoverable(pooled)
+    return results
+
+
+def parallel_table4(
+    topologies: Sequence[str],
+    n_cases: int,
+    seed: int = 0,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict]:
+    """Table IV across topologies using a process pool."""
+    work = [(name, n_cases, seed, tuple(approaches)) for name in topologies]
+    results: Dict[str, Dict] = {}
+    pooled: Dict[str, List[tuple]] = {a: [] for a in approaches}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for name, summary, rows in pool.map(_table4_worker, work):
+            results[name] = summary
+            for a in approaches:
+                pooled[a].extend(rows[a])
+    overall: Dict[str, Dict] = {}
+    for approach, rows in pooled.items():
+        sp = [c for c, _w in rows]
+        wasted = [w for _c, w in rows]
+        n = max(len(rows), 1)
+        overall[approach] = {
+            "approach": approach,
+            "cases": len(rows),
+            "avg_wasted_computation": round(sum(sp) / n, 2),
+            "max_wasted_computation": max(sp) if sp else 0,
+            "avg_wasted_transmission": round(sum(wasted) / n, 1),
+            "max_wasted_transmission": round(max(wasted), 1) if wasted else 0.0,
+        }
+    results["Overall"] = overall
+    return results

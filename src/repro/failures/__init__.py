@@ -1,0 +1,35 @@
+"""Failure substrate: ground-truth scenarios and local detection."""
+
+from .model import FailureScenario
+from .detection import LocalView
+from .hello import (
+    BFD_TIMERS,
+    FAST_OSPF_TIMERS,
+    OSPF_TIMERS,
+    DetectionModel,
+    HelloConfig,
+)
+from .scenarios import (
+    PAPER_RADIUS_RANGE,
+    circle_scenarios,
+    fixed_radius_scenarios,
+    multi_area_scenario,
+    random_circle,
+    random_polygon,
+)
+
+__all__ = [
+    "FailureScenario",
+    "LocalView",
+    "BFD_TIMERS",
+    "FAST_OSPF_TIMERS",
+    "OSPF_TIMERS",
+    "DetectionModel",
+    "HelloConfig",
+    "PAPER_RADIUS_RANGE",
+    "circle_scenarios",
+    "fixed_radius_scenarios",
+    "multi_area_scenario",
+    "random_circle",
+    "random_polygon",
+]

@@ -1,0 +1,106 @@
+"""Hello/BFD failure-detection timing.
+
+The paper keeps the existing detection machinery (§II-A: "We do not
+modify the mechanisms for failure detection") and simply assumes a router
+*eventually* notices an unreachable neighbor.  This module models when:
+a router declares a neighbor dead after missing ``dead_multiplier``
+consecutive hello packets, so for a failure at t = 0 the detection time is
+
+    dead_interval - phase,   phase ~ U(0, hello_interval)
+
+where ``phase`` is how long before the failure the last hello arrived.
+Two standard profiles are provided: OSPF-style second-scale hellos and
+BFD-style tens-of-milliseconds liveness, the regime that makes RTR's
+tens-of-milliseconds phase 1 meaningful end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from ..errors import SimulationError
+from .detection import LocalView
+from .model import FailureScenario
+
+
+class HelloConfig(NamedTuple):
+    """Timing of the hello-based liveness protocol (seconds)."""
+
+    hello_interval: float
+    dead_multiplier: int
+
+    @property
+    def dead_interval(self) -> float:
+        """Time without hellos after which the neighbor is declared dead."""
+        return self.hello_interval * self.dead_multiplier
+
+
+#: OSPF defaults: 10 s hellos, dead after 4 missed.
+OSPF_TIMERS = HelloConfig(hello_interval=10.0, dead_multiplier=4)
+
+#: Fast OSPF tuning (sub-second hellos), as in Francois et al.
+FAST_OSPF_TIMERS = HelloConfig(hello_interval=0.25, dead_multiplier=3)
+
+#: BFD-style liveness: 50 ms intervals, dead after 3 missed.
+BFD_TIMERS = HelloConfig(hello_interval=0.05, dead_multiplier=3)
+
+
+class DetectionModel:
+    """Per-adjacency detection instants for one failure event at t = 0.
+
+    Each *directed* adjacency gets its own hello phase (the two ends of a
+    link run independent timers), drawn deterministically from ``rng``.
+    """
+
+    def __init__(
+        self,
+        scenario: FailureScenario,
+        config: HelloConfig = BFD_TIMERS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config
+        self.view = LocalView(scenario)
+        rng = rng or random.Random(0)
+        self._times: Dict[Tuple[int, int], float] = {}
+        topo = scenario.topo
+        for node in sorted(scenario.live_nodes()):
+            for neighbor in sorted(self.view.unreachable_neighbors(node)):
+                phase = rng.uniform(0.0, config.hello_interval)
+                self._times[(node, neighbor)] = config.dead_interval - phase
+
+    def detection_time(self, router: int, neighbor: int) -> float:
+        """When ``router`` declares its ``neighbor`` unreachable."""
+        try:
+            return self._times[(router, neighbor)]
+        except KeyError:
+            raise SimulationError(
+                f"router {router} never detects {neighbor}: the adjacency "
+                f"did not fail (or {router} itself failed)"
+            ) from None
+
+    def first_detection(self, router: int) -> Optional[float]:
+        """``router``'s earliest detection, or None if it detects nothing."""
+        times = [
+            t for (r, _nb), t in self._times.items() if r == router
+        ]
+        return min(times) if times else None
+
+    def earliest_network_detection(self) -> Optional[float]:
+        """The first detection anywhere (when recovery can first begin)."""
+        if not self._times:
+            return None
+        return min(self._times.values())
+
+    def recovery_start(self, initiator: int, trigger_neighbor: int) -> float:
+        """When RTR can be invoked at ``initiator`` for ``trigger_neighbor``.
+
+        §II-B: recovery starts when the router detects that its default
+        next hop is unreachable.
+        """
+        return self.detection_time(initiator, trigger_neighbor)
+
+    def all_detections(self) -> Dict[Tuple[int, int], float]:
+        """Every (router, neighbor) -> detection instant."""
+        return dict(self._times)

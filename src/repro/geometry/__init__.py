@@ -1,0 +1,36 @@
+"""Computational-geometry substrate.
+
+Everything RTR needs from the plane: points and counterclockwise angle
+arithmetic for the right-hand sweeping rule, segments and proper-crossing
+predicates for the ``cross_link`` constraints, failure-area regions, convex
+hulls, and precomputation of per-link crossing sets.
+"""
+
+from .point import EPSILON, TWO_PI, Point, ccw_angle, centroid, orientation
+from .segment import Segment, intersection_point, segments_cross, segments_intersect
+from .region import Circle, FailureRegion, HalfPlane, Polygon, UnionRegion
+from .hull import convex_hull, polygon_contains
+from .planarity import compute_cross_links, crossing_pairs, is_planar_embedding
+
+__all__ = [
+    "EPSILON",
+    "TWO_PI",
+    "Point",
+    "ccw_angle",
+    "centroid",
+    "orientation",
+    "Segment",
+    "intersection_point",
+    "segments_cross",
+    "segments_intersect",
+    "Circle",
+    "FailureRegion",
+    "HalfPlane",
+    "Polygon",
+    "UnionRegion",
+    "convex_hull",
+    "polygon_contains",
+    "compute_cross_links",
+    "crossing_pairs",
+    "is_planar_embedding",
+]

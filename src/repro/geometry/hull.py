@@ -1,0 +1,53 @@
+"""Convex hulls.
+
+Used by tests and by the scenario generators to reason about whether a
+forwarding walk encloses the failure area (the correctness condition of
+RTR's first phase), and to synthesise polygonal failure regions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .point import Point
+
+
+def convex_hull(points: Iterable[Point]) -> List[Point]:
+    """Convex hull in counterclockwise order (Andrew's monotone chain).
+
+    Collinear points on the hull boundary are dropped.  Degenerate inputs
+    (fewer than 3 distinct points) return the distinct points sorted.
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    def half_hull(ordered: List[Point]) -> List[Point]:
+        hull: List[Point] = []
+        for p in ordered:
+            while len(hull) >= 2 and (hull[-1] - hull[-2]).cross(p - hull[-2]) <= 0:
+                hull.pop()
+            hull.append(p)
+        return hull
+
+    lower = half_hull(pts)
+    upper = half_hull(list(reversed(pts)))
+    return lower[:-1] + upper[:-1]
+
+
+def polygon_contains(hull: List[Point], p: Point) -> bool:
+    """Whether ``p`` is inside (or on) a convex polygon given in CCW order."""
+    n = len(hull)
+    if n == 0:
+        return False
+    if n == 1:
+        return hull[0].is_close(p)
+    if n == 2:
+        from .segment import Segment
+
+        return Segment(hull[0], hull[1]).contains_point(p)
+    for i in range(n):
+        a, b = hull[i], hull[(i + 1) % n]
+        if (b - a).cross(p - a) < -1e-9:
+            return False
+    return True

@@ -1,0 +1,82 @@
+"""Cross-link computation for embedded graphs.
+
+§III-C of the paper: *"For each link, routers precompute the set of links
+across it."*  This module provides that precomputation for an arbitrary set
+of embedded links.  A sweep over bounding boxes keeps the common (mostly
+planar, geometrically local) ISP case close to linear; the worst case is
+the unavoidable O(m^2) pair check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
+
+from .segment import Segment, segments_cross
+
+LinkKey = TypeVar("LinkKey", bound=Hashable)
+
+
+def _bbox(segment: Segment) -> Tuple[float, float, float, float]:
+    return (
+        min(segment.a.x, segment.b.x),
+        min(segment.a.y, segment.b.y),
+        max(segment.a.x, segment.b.x),
+        max(segment.a.y, segment.b.y),
+    )
+
+
+def _bboxes_overlap(
+    b1: Tuple[float, float, float, float], b2: Tuple[float, float, float, float]
+) -> bool:
+    return not (b1[2] < b2[0] or b2[2] < b1[0] or b1[3] < b2[1] or b2[3] < b1[1])
+
+
+def compute_cross_links(
+    links: Sequence[Tuple[LinkKey, Segment]],
+) -> Dict[LinkKey, Set[LinkKey]]:
+    """Map every link key to the set of link keys that properly cross it.
+
+    ``links`` is a sequence of ``(key, segment)`` pairs.  The result is
+    symmetric: ``k2 in result[k1]`` iff ``k1 in result[k2]``.  Links sharing
+    an endpoint never cross (see :func:`repro.geometry.segment.segments_cross`).
+    """
+    result: Dict[LinkKey, Set[LinkKey]] = {key: set() for key, _ in links}
+    # Sort by min-x so the inner loop can stop early.
+    order = sorted(range(len(links)), key=lambda i: _bbox(links[i][1])[0])
+    boxes = [_bbox(seg) for _, seg in links]
+    for idx, i in enumerate(order):
+        key_i, seg_i = links[i]
+        box_i = boxes[i]
+        for j in order[idx + 1 :]:
+            box_j = boxes[j]
+            if box_j[0] > box_i[2]:
+                break  # every later link starts right of seg_i's box
+            if not _bboxes_overlap(box_i, box_j):
+                continue
+            key_j, seg_j = links[j]
+            if segments_cross(seg_i, seg_j):
+                result[key_i].add(key_j)
+                result[key_j].add(key_i)
+    return result
+
+
+def is_planar_embedding(links: Sequence[Tuple[LinkKey, Segment]]) -> bool:
+    """Whether no two links properly cross (a plane embedding)."""
+    crossings = compute_cross_links(links)
+    return all(not others for others in crossings.values())
+
+
+def crossing_pairs(
+    links: Sequence[Tuple[LinkKey, Segment]],
+) -> List[Tuple[LinkKey, LinkKey]]:
+    """All unordered crossing pairs, each reported once."""
+    crossings = compute_cross_links(links)
+    pairs: List[Tuple[LinkKey, LinkKey]] = []
+    seen: Set[frozenset] = set()
+    for key, others in crossings.items():
+        for other in others:
+            pair = frozenset((key, other))
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append((key, other))
+    return pairs

@@ -1,0 +1,142 @@
+"""Line segments and crossing predicates.
+
+Links of an embedded topology are straight segments between router
+coordinates.  Two notions of "crossing" matter to RTR:
+
+* **link/link crossing** — two segments whose *interiors* intersect.  This is
+  what the paper's Constraints 1 and 2 (§III-C) forbid on the phase-1
+  forwarding path, and what the per-link ``cross_link`` sets precompute.
+  Segments that merely share an endpoint (links incident to a common router)
+  do *not* cross.
+
+* **link/region crossing** — a segment that intersects the failure area, in
+  which case the link has failed (§II-A).  Implemented by the region classes
+  in :mod:`repro.geometry.region` on top of the distance helpers here.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from .point import EPSILON, Point, orientation
+
+
+class Segment(NamedTuple):
+    """A closed straight segment between two endpoints."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        """The point halfway between the endpoints."""
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def direction(self) -> Point:
+        """The (unnormalised) vector from ``a`` to ``b``."""
+        return self.b - self.a
+
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """Whether ``p`` lies on the segment, within ``tol``."""
+        return self.distance_to_point(p) <= tol
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the nearest point of the segment."""
+        return p.distance_to(self.closest_point_to(p))
+
+    def closest_point_to(self, p: Point) -> Point:
+        """The point of the segment closest to ``p``."""
+        d = self.direction()
+        length_sq = d.dot(d)
+        if length_sq <= EPSILON * EPSILON:
+            return self.a
+        t = (p - self.a).dot(d) / length_sq
+        t = max(0.0, min(1.0, t))
+        return self.a + d * t
+
+    def shares_endpoint_with(self, other: "Segment", tol: float = EPSILON) -> bool:
+        """Whether the two segments have a (numerically) common endpoint."""
+        return (
+            self.a.is_close(other.a, tol)
+            or self.a.is_close(other.b, tol)
+            or self.b.is_close(other.a, tol)
+            or self.b.is_close(other.b, tol)
+        )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """Whether the two closed segments intersect at all (including endpoints)."""
+    o1 = orientation(s1.a, s1.b, s2.a)
+    o2 = orientation(s1.a, s1.b, s2.b)
+    o3 = orientation(s2.a, s2.b, s1.a)
+    o4 = orientation(s2.a, s2.b, s1.b)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    # Collinear special cases.
+    if o1 == 0 and s1.contains_point(s2.a):
+        return True
+    if o2 == 0 and s1.contains_point(s2.b):
+        return True
+    if o3 == 0 and s2.contains_point(s1.a):
+        return True
+    if o4 == 0 and s2.contains_point(s1.b):
+        return True
+    return False
+
+
+def segments_cross(s1: Segment, s2: Segment) -> bool:
+    """Whether two segments *properly* cross (interior intersection).
+
+    This is the predicate behind the paper's "link across another link":
+    links that only touch at a shared router do not cross.  Collinear
+    overlapping segments are treated as crossing since their interiors
+    intersect.
+    """
+    if s1.shares_endpoint_with(s2):
+        return False
+
+    o1 = orientation(s1.a, s1.b, s2.a)
+    o2 = orientation(s1.a, s1.b, s2.b)
+    o3 = orientation(s2.a, s2.b, s1.a)
+    o4 = orientation(s2.a, s2.b, s1.b)
+
+    if o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4):
+        return True
+
+    # An endpoint of one segment lying strictly inside the other also makes
+    # the interiors intersect (e.g. a T-junction without a shared router).
+    for p in (s2.a, s2.b):
+        if s1.contains_point(p) and not (p.is_close(s1.a) or p.is_close(s1.b)):
+            return True
+    for p in (s1.a, s1.b):
+        if s2.contains_point(p) and not (p.is_close(s2.a) or p.is_close(s2.b)):
+            return True
+    return False
+
+
+def intersection_point(s1: Segment, s2: Segment) -> Optional[Point]:
+    """The intersection point of two segments, or ``None``.
+
+    For collinear overlapping segments (which intersect in a sub-segment)
+    an arbitrary common point is returned.
+    """
+    d1 = s1.direction()
+    d2 = s2.direction()
+    denom = d1.cross(d2)
+    if abs(denom) > EPSILON:
+        t = (s2.a - s1.a).cross(d2) / denom
+        u = (s2.a - s1.a).cross(d1) / denom
+        if -EPSILON <= t <= 1.0 + EPSILON and -EPSILON <= u <= 1.0 + EPSILON:
+            return s1.a + d1 * max(0.0, min(1.0, t))
+        return None
+    # Parallel: intersect only if collinear and overlapping.
+    if not segments_intersect(s1, s2):
+        return None
+    for p in (s2.a, s2.b, s1.a, s1.b):
+        if s1.contains_point(p) and s2.contains_point(p):
+            return p
+    return None

@@ -1,0 +1,35 @@
+"""Routing substrate: Dijkstra, SPTs, incremental recomputation, tables."""
+
+from .paths import Path
+from .spt import ShortestPathTree
+from .dijkstra import (
+    reverse_shortest_path_tree,
+    shortest_path,
+    shortest_path_or_none,
+    shortest_path_tree,
+)
+from .incremental import incremental_distance, updated_tree
+from .tables import RoutingTable
+from .source_route import BYTES_PER_ENTRY, SourceRoute
+from .linkstate import ConvergenceConfig, ConvergenceReport, LinkStateProtocol
+from .flooding import FloodingReport, FloodingSimulator, Lsa
+
+__all__ = [
+    "Path",
+    "ShortestPathTree",
+    "reverse_shortest_path_tree",
+    "shortest_path",
+    "shortest_path_or_none",
+    "shortest_path_tree",
+    "incremental_distance",
+    "updated_tree",
+    "RoutingTable",
+    "BYTES_PER_ENTRY",
+    "SourceRoute",
+    "ConvergenceConfig",
+    "ConvergenceReport",
+    "LinkStateProtocol",
+    "FloodingReport",
+    "FloodingSimulator",
+    "Lsa",
+]

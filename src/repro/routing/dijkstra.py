@@ -1,0 +1,147 @@
+"""Dijkstra shortest paths with exclusion sets.
+
+The recovery algorithms never mutate the topology: they route on
+``G - failed`` by passing exclusion sets.  This keeps one immutable
+topology shared by thousands of test cases.
+
+Tie-breaking is deterministic (prefer the smaller parent id), so routing
+tables and recovery paths are reproducible across runs, and hop-by-hop
+forwarding built from per-destination reverse trees is loop-free even among
+equal-cost alternatives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..errors import NoPathError
+from ..topology import Link, Topology
+from .paths import Path
+from .spt import ShortestPathTree
+
+_EMPTY_NODES: FrozenSet[int] = frozenset()
+_EMPTY_LINKS: FrozenSet[Link] = frozenset()
+
+
+def _dijkstra(
+    topo: Topology,
+    root: int,
+    toward_root: bool,
+    excluded_nodes: FrozenSet[int],
+    excluded_links: FrozenSet[Link],
+    target: Optional[int] = None,
+) -> ShortestPathTree:
+    """Core Dijkstra.
+
+    ``toward_root=False`` relaxes edges in direction root -> neighbor using
+    ``cost(u, v)``; ``toward_root=True`` computes node -> root distances by
+    relaxing with ``cost(v, u)`` (the cost of *entering* the settled node).
+    Stops early when ``target`` is settled.
+    """
+    dist: Dict[int, float] = {root: 0.0}
+    parent: Dict[int, Optional[int]] = {root: None}
+    settled: Set[int] = set()
+    heap = [(0.0, root)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == target:
+            break
+        for v in topo.neighbors(u):
+            if v in settled or v in excluded_nodes:
+                continue
+            if excluded_links and Link.of(u, v) in excluded_links:
+                continue
+            step = topo.cost(v, u) if toward_root else topo.cost(u, v)
+            candidate = d + step
+            known = dist.get(v)
+            if known is None or candidate < known - 1e-12:
+                dist[v] = candidate
+                parent[v] = u
+                heapq.heappush(heap, (candidate, v))
+            elif known is not None and abs(candidate - known) <= 1e-12:
+                # Deterministic tie-break: keep the smaller parent id.
+                if u < parent[v]:  # type: ignore[operator]
+                    parent[v] = u
+    return ShortestPathTree(root, dist, parent, toward_root)
+
+
+def shortest_path_tree(
+    topo: Topology,
+    source: int,
+    excluded_nodes: Optional[Set[int]] = None,
+    excluded_links: Optional[Set[Link]] = None,
+) -> ShortestPathTree:
+    """Forward SPT: distances ``source -> node`` for every reachable node."""
+    return _dijkstra(
+        topo,
+        source,
+        toward_root=False,
+        excluded_nodes=frozenset(excluded_nodes) if excluded_nodes else _EMPTY_NODES,
+        excluded_links=frozenset(excluded_links) if excluded_links else _EMPTY_LINKS,
+    )
+
+
+def reverse_shortest_path_tree(
+    topo: Topology,
+    destination: int,
+    excluded_nodes: Optional[Set[int]] = None,
+    excluded_links: Optional[Set[Link]] = None,
+) -> ShortestPathTree:
+    """Reverse SPT: ``node -> destination`` distances and next hops.
+
+    ``tree.next_hop(v)`` is ``v``'s routing-table next hop toward
+    ``destination`` — following next hops from any node reproduces that
+    node's shortest path, so paths built this way are consistent and
+    loop-free.
+    """
+    return _dijkstra(
+        topo,
+        destination,
+        toward_root=True,
+        excluded_nodes=frozenset(excluded_nodes) if excluded_nodes else _EMPTY_NODES,
+        excluded_links=frozenset(excluded_links) if excluded_links else _EMPTY_LINKS,
+    )
+
+
+def shortest_path(
+    topo: Topology,
+    source: int,
+    destination: int,
+    excluded_nodes: Optional[Set[int]] = None,
+    excluded_links: Optional[Set[Link]] = None,
+) -> Path:
+    """The shortest ``source -> destination`` path, or :class:`NoPathError`.
+
+    Uses early-terminating Dijkstra from the source.
+    """
+    if source == destination:
+        return Path((source,), 0.0)
+    tree = _dijkstra(
+        topo,
+        source,
+        toward_root=False,
+        excluded_nodes=frozenset(excluded_nodes) if excluded_nodes else _EMPTY_NODES,
+        excluded_links=frozenset(excluded_links) if excluded_links else _EMPTY_LINKS,
+        target=destination,
+    )
+    if not tree.reaches(destination):
+        raise NoPathError(source, destination)
+    return tree.path_from(destination)
+
+
+def shortest_path_or_none(
+    topo: Topology,
+    source: int,
+    destination: int,
+    excluded_nodes: Optional[Set[int]] = None,
+    excluded_links: Optional[Set[Link]] = None,
+) -> Optional[Path]:
+    """Like :func:`shortest_path` but returns ``None`` when disconnected."""
+    try:
+        return shortest_path(topo, source, destination, excluded_nodes, excluded_links)
+    except NoPathError:
+        return None

@@ -1,0 +1,137 @@
+"""Link-state protocol (IGP) convergence model.
+
+RTR exists *because* IGP convergence is slow (§I): after a failure, routers
+detect unreachable neighbors, hold down their topology updates to prevent
+route flapping (§II-A), flood link-state advertisements, recompute, and only
+then have valid routing tables again.  RTR operates exactly during this
+window.
+
+This module models that timeline.  It does not simulate every LSA packet;
+it computes, per router, the instant at which the router has received every
+update and finished its SPF run — which is all the recovery evaluation
+needs (e.g. Fig. 10 measures overhead "until IGP convergence finishes").
+
+Timeline for a failure at t=0, per the knobs in :class:`ConvergenceConfig`:
+
+* each router adjacent to a failed element detects it at ``detection_delay``
+  (hello/BFD timeout),
+* the router waits ``lsa_hold_down`` before originating its update
+  (the paper: routers "do not immediately disseminate topology updates"),
+* the update floods over the surviving graph at ``flood_hop_delay`` per hop,
+* each receiving router finishes recomputation ``spf_time`` after its last
+  update arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set
+
+from ..topology import Link, Topology
+from .tables import RoutingTable
+
+
+class ConvergenceConfig(NamedTuple):
+    """Timing knobs of the IGP convergence model (seconds).
+
+    Defaults give a few-second convergence, consistent with the paper's
+    motivation that convergence "usually takes several seconds even for a
+    single link failure".
+    """
+
+    detection_delay: float = 0.15
+    lsa_hold_down: float = 2.0
+    flood_hop_delay: float = 0.01
+    spf_time: float = 0.005
+
+
+class ConvergenceReport(NamedTuple):
+    """Result of the convergence computation."""
+
+    #: Per-live-router instant at which its table is valid again.
+    router_converged_at: Dict[int, float]
+    #: When the last router converged (the length of the RTR window).
+    network_converged_at: float
+    #: Routers that detected a failure and originated updates.
+    detectors: Set[int]
+
+
+def _flood_hops(topo: Topology, origin: int, live_nodes: Set[int], failed_links: Set[Link]) -> Dict[int, int]:
+    """BFS hop counts over the surviving graph from ``origin``."""
+    hops = {origin: 0}
+    frontier = [origin]
+    while frontier:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in topo.neighbors(u):
+                if v not in live_nodes or v in hops:
+                    continue
+                if Link.of(u, v) in failed_links:
+                    continue
+                hops[v] = hops[u] + 1
+                next_frontier.append(v)
+        frontier = next_frontier
+    return hops
+
+
+class LinkStateProtocol:
+    """Pre/post-failure routing views plus the convergence timeline."""
+
+    def __init__(self, topo: Topology, config: Optional[ConvergenceConfig] = None) -> None:
+        self.topo = topo
+        self.config = config or ConvergenceConfig()
+        #: The consistent pre-failure view every router shares (§II-A).
+        self.before = RoutingTable(topo)
+        self._after: Optional[RoutingTable] = None
+        self._failed_nodes: Set[int] = set()
+        self._failed_links: Set[Link] = set()
+
+    def apply_failure(self, failed_nodes: Set[int], failed_links: Set[Link]) -> ConvergenceReport:
+        """Record a failure event and compute the convergence timeline."""
+        self._failed_nodes = set(failed_nodes)
+        self._failed_links = set(failed_links)
+        self._after = None
+
+        live_nodes = {n for n in self.topo.nodes() if n not in failed_nodes}
+        detectors: Set[int] = set()
+        for link in failed_links:
+            for end in (link.u, link.v):
+                if end in live_nodes:
+                    detectors.add(end)
+        for node in failed_nodes:
+            if not self.topo.has_node(node):
+                continue
+            for nb in self.topo.neighbors(node):
+                if nb in live_nodes:
+                    detectors.add(nb)
+
+        cfg = self.config
+        origin_time = cfg.detection_delay + cfg.lsa_hold_down
+        converged: Dict[int, float] = {}
+        # Every live router converges once it has heard from every detector
+        # it can reach; routers cut off from a detector never hear about that
+        # part of the failure, but also never need those routes.
+        for origin in detectors:
+            hops = _flood_hops(self.topo, origin, live_nodes, self._failed_links)
+            for router, h in hops.items():
+                arrival = origin_time + h * cfg.flood_hop_delay
+                converged[router] = max(converged.get(router, 0.0), arrival)
+        for router in live_nodes:
+            converged.setdefault(router, 0.0)  # nothing to learn
+            converged[router] += cfg.spf_time
+        network = max(converged.values()) if converged else 0.0
+        return ConvergenceReport(converged, network, detectors)
+
+    @property
+    def after(self) -> RoutingTable:
+        """Routing on the surviving topology (valid after convergence)."""
+        if self._after is None:
+            survivor = self.topo.copy(name=f"{self.topo.name}-post-failure")
+            for link in list(survivor.links()):
+                if (
+                    link in self._failed_links
+                    or link.u in self._failed_nodes
+                    or link.v in self._failed_nodes
+                ):
+                    survivor.remove_link(link.u, link.v)
+            self._after = RoutingTable(survivor)
+        return self._after

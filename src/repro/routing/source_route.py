@@ -1,0 +1,75 @@
+"""Source-route headers.
+
+RTR's second phase inserts the entire recovery path in the packet header
+(§III-D); routers along it forward on the recorded route without any
+routing-table lookup.  FCP's source-routing variant uses the same
+mechanism.  Node and link ids are 16-bit (§III-B), so header accounting
+charges :data:`BYTES_PER_ENTRY` per recorded id.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import RoutingError
+from .paths import Path
+
+#: The paper represents ids with 16 bits.
+BYTES_PER_ENTRY = 2
+
+
+class SourceRoute:
+    """A strict source route being consumed hop by hop."""
+
+    def __init__(self, nodes: Sequence[int]) -> None:
+        if not nodes:
+            raise RoutingError("a source route needs at least one node")
+        self.nodes: Tuple[int, ...] = tuple(nodes)
+        self._cursor = 0
+
+    @classmethod
+    def from_path(cls, path: Path) -> "SourceRoute":
+        """Build a route from a computed path."""
+        return cls(path.nodes)
+
+    @property
+    def current(self) -> int:
+        """The node the packet is currently at, per the route."""
+        return self.nodes[self._cursor]
+
+    @property
+    def destination(self) -> int:
+        """Final node of the route."""
+        return self.nodes[-1]
+
+    @property
+    def finished(self) -> bool:
+        """Whether the route has been fully consumed."""
+        return self._cursor == len(self.nodes) - 1
+
+    def next_hop(self) -> int:
+        """The node to forward to next."""
+        if self.finished:
+            raise RoutingError("source route already at its destination")
+        return self.nodes[self._cursor + 1]
+
+    def advance(self) -> int:
+        """Consume one hop and return the new current node."""
+        hop = self.next_hop()
+        self._cursor += 1
+        return hop
+
+    def remaining_hops(self) -> int:
+        """Hops left until the destination."""
+        return len(self.nodes) - 1 - self._cursor
+
+    def header_bytes(self) -> int:
+        """Bytes the route occupies in the packet header."""
+        return BYTES_PER_ENTRY * len(self.nodes)
+
+    def as_list(self) -> List[int]:
+        """The full recorded route (not just the remainder)."""
+        return list(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"SourceRoute({list(self.nodes)!r}, at={self._cursor})"

@@ -1,0 +1,91 @@
+"""Shortest-path trees.
+
+A :class:`ShortestPathTree` stores, for one root, the distance and parent
+pointer of every reachable node.  Two orientations exist:
+
+* **forward** (``toward_root=False``): distances are root -> node, parents
+  point back toward the root.  Produced by Dijkstra from a source.
+* **reverse** (``toward_root=True``): distances are node -> root, and the
+  parent of ``v`` is ``v``'s *next hop toward the root*.  This is what a
+  routing table needs — hop-by-hop forwarding toward a destination — and
+  it handles asymmetric link costs correctly (§II-A allows
+  ``c_ij != c_ji``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import NoPathError
+from .paths import Path
+
+
+class ShortestPathTree:
+    """Distances and parent pointers from/to a single root."""
+
+    def __init__(
+        self,
+        root: int,
+        dist: Dict[int, float],
+        parent: Dict[int, Optional[int]],
+        toward_root: bool,
+    ) -> None:
+        self.root = root
+        self.dist = dist
+        self.parent = parent
+        self.toward_root = toward_root
+
+    def reaches(self, node: int) -> bool:
+        """Whether ``node`` is connected to the root."""
+        return node in self.dist
+
+    def distance(self, node: int) -> float:
+        """Shortest-path cost between the root and ``node``."""
+        try:
+            return self.dist[node]
+        except KeyError:
+            if self.toward_root:
+                raise NoPathError(node, self.root) from None
+            raise NoPathError(self.root, node) from None
+
+    def next_hop(self, node: int) -> Optional[int]:
+        """Next hop from ``node`` toward the root (reverse trees only)."""
+        assert self.toward_root, "next_hop() is defined on reverse trees"
+        return self.parent.get(node)
+
+    def path_from(self, node: int) -> Path:
+        """Path ``node -> root`` (reverse tree) or ``root -> node`` (forward).
+
+        Reverse trees chain next hops from ``node`` to the root; forward
+        trees chain parents from ``node`` back to the root and then flip.
+        """
+        if not self.reaches(node):
+            if self.toward_root:
+                raise NoPathError(node, self.root)
+            raise NoPathError(self.root, node)
+        chain = [node]
+        current = node
+        while current != self.root:
+            current = self.parent[current]  # type: ignore[assignment]
+            chain.append(current)
+        if self.toward_root:
+            return Path(tuple(chain), self.dist[node])
+        return Path(tuple(reversed(chain)), self.dist[node])
+
+    def reachable_nodes(self) -> Iterator[int]:
+        """Every node connected to the root (including the root)."""
+        return iter(self.dist)
+
+    def tree_links(self) -> Iterator[Tuple[int, int]]:
+        """The ``(child, parent)`` pairs forming the tree."""
+        return (
+            (node, parent)
+            for node, parent in self.parent.items()
+            if parent is not None
+        )
+
+    def copy(self) -> "ShortestPathTree":
+        """An independent copy (incremental updates mutate in place)."""
+        return ShortestPathTree(
+            self.root, dict(self.dist), dict(self.parent), self.toward_root
+        )

@@ -1,0 +1,71 @@
+"""Routing tables for hop-by-hop default forwarding.
+
+Intra-domain link-state routing (§II-A): every router knows the topology
+and forwards along shortest paths.  A :class:`RoutingTable` is the fleet of
+per-destination reverse shortest-path trees, computed lazily and shared —
+``next_hop(u, dst)`` is what router ``u`` looks up when a data packet for
+``dst`` arrives, and is what RTR checks when it decides that the default
+next hop is unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import UnknownNodeError
+from ..topology import Topology
+from .dijkstra import reverse_shortest_path_tree
+from .paths import Path
+from .spt import ShortestPathTree
+
+
+class RoutingTable:
+    """Lazily computed all-pairs next hops over one topology snapshot."""
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._trees: Dict[int, ShortestPathTree] = {}
+
+    def tree_to(self, destination: int) -> ShortestPathTree:
+        """The reverse SPT rooted at ``destination`` (cached)."""
+        if not self.topo.has_node(destination):
+            raise UnknownNodeError(destination)
+        tree = self._trees.get(destination)
+        if tree is None:
+            tree = reverse_shortest_path_tree(self.topo, destination)
+            self._trees[destination] = tree
+        return tree
+
+    def next_hop(self, node: int, destination: int) -> Optional[int]:
+        """Routing-table next hop of ``node`` toward ``destination``.
+
+        ``None`` when the destination is unreachable in this snapshot or
+        when ``node`` is the destination itself.
+        """
+        if node == destination:
+            return None
+        tree = self.tree_to(destination)
+        if not tree.reaches(node):
+            return None
+        return tree.next_hop(node)
+
+    def path(self, source: int, destination: int) -> Optional[Path]:
+        """The default routing path, or ``None`` if unreachable."""
+        tree = self.tree_to(destination)
+        if not tree.reaches(source):
+            return None
+        return tree.path_from(source)
+
+    def distance(self, source: int, destination: int) -> Optional[float]:
+        """Shortest-path cost, or ``None`` if unreachable."""
+        tree = self.tree_to(destination)
+        return tree.dist.get(source)
+
+    def destinations(self) -> Iterator[int]:
+        """All possible destinations (every node)."""
+        return self.topo.nodes()
+
+    def precompute_all(self) -> None:
+        """Force computation of every per-destination tree."""
+        for dst in self.topo.nodes():
+            self.tree_to(dst)

@@ -1,0 +1,44 @@
+"""Packet-level simulation substrate: packets, delays, events, accounting."""
+
+from .packet import (
+    BYTES_PER_ID,
+    DEFAULT_PAYLOAD_BYTES,
+    FIXED_RTR_HEADER_BYTES,
+    Mode,
+    Packet,
+    RecoveryHeader,
+)
+from .delays import (
+    DEFAULT_DELAY_MODEL,
+    PAPER_PROPAGATION_S,
+    ROUTER_DELAY_S,
+    DelayModel,
+    DistanceDelayModel,
+    PaperDelayModel,
+)
+from .events import EventQueue
+from .stats import RecoveryAccounting, RecoveryResult
+from .trace import ForwardingTrace, HopEvent
+from .engine import ForwardingEngine, NextHopFn
+
+__all__ = [
+    "BYTES_PER_ID",
+    "DEFAULT_PAYLOAD_BYTES",
+    "FIXED_RTR_HEADER_BYTES",
+    "Mode",
+    "Packet",
+    "RecoveryHeader",
+    "DEFAULT_DELAY_MODEL",
+    "PAPER_PROPAGATION_S",
+    "ROUTER_DELAY_S",
+    "DelayModel",
+    "DistanceDelayModel",
+    "PaperDelayModel",
+    "EventQueue",
+    "RecoveryAccounting",
+    "RecoveryResult",
+    "ForwardingTrace",
+    "HopEvent",
+    "ForwardingEngine",
+    "NextHopFn",
+]

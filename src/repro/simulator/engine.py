@@ -1,0 +1,124 @@
+"""Hop-by-hop forwarding engine.
+
+The protocols (RTR phase 1, FCP wandering, MRC configuration switching,
+source-routed delivery) all reduce to the same mechanical loop: ask a
+per-node decision function for the next hop, check local reachability,
+move the packet, account the hop.  The engine owns that loop so every
+protocol pays delays and header bytes identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ForwardingLoopError
+from ..failures import LocalView
+from ..topology import Link, Topology
+from .delays import DEFAULT_DELAY_MODEL, DelayModel
+from .packet import Packet
+from .stats import RecoveryAccounting
+from .trace import ForwardingTrace, HopEvent
+
+#: A decision function: given the current node and the packet, return the
+#: next hop, or ``None`` to stop the walk at the current node.
+NextHopFn = Callable[[int, Packet], Optional[int]]
+
+
+class ForwardingEngine:
+    """Moves packets over the surviving topology."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        view: LocalView,
+        delay_model: DelayModel = DEFAULT_DELAY_MODEL,
+        trace: Optional[ForwardingTrace] = None,
+    ) -> None:
+        self.topo = topo
+        self.view = view
+        self.delay_model = delay_model
+        #: Optional structured trace of every hop (see simulator.trace).
+        self.trace = trace
+
+    def forward_one_hop(
+        self, packet: Packet, next_node: int, accounting: RecoveryAccounting
+    ) -> None:
+        """Transmit ``packet`` from its current node to ``next_node``.
+
+        The caller must have verified reachability; this only moves and
+        accounts.  Header bytes are sampled *as transmitted* on this hop.
+        """
+        link = Link.of(packet.at, next_node)
+        delay = self.delay_model.hop_delay(self.topo, link)
+        header_bytes = packet.header.recovery_bytes()
+        accounting.record_hop(delay, header_bytes)
+        if self.trace is not None:
+            self.trace.record(
+                HopEvent(
+                    time=accounting.clock,
+                    sender=packet.at,
+                    receiver=next_node,
+                    link=link,
+                    mode=packet.header.mode,
+                    header_bytes=header_bytes,
+                    packet_id=packet.packet_id,
+                )
+            )
+        packet.at = next_node
+        packet.recovery_hops += 1
+
+    def walk(
+        self,
+        packet: Packet,
+        decide: NextHopFn,
+        accounting: RecoveryAccounting,
+        max_hops: Optional[int] = None,
+    ) -> List[int]:
+        """Drive ``packet`` until ``decide`` returns ``None``.
+
+        Returns the sequence of nodes visited (including the start).  The
+        hop budget defaults to ``4 * link_count + 8``: Theorem 1 bounds a
+        correct phase-1 walk by twice the links (each traversed at most once
+        per direction), so exceeding four times is an implementation error
+        and raises :class:`ForwardingLoopError` with the partial walk.
+        """
+        budget = max_hops if max_hops is not None else 4 * self.topo.link_count + 8
+        visited = [packet.at]
+        for _ in range(budget):
+            next_node = decide(packet.at, packet)
+            if next_node is None:
+                return visited
+            if not self.view.is_neighbor_reachable(packet.at, next_node):
+                raise ForwardingLoopError(
+                    f"decision function chose unreachable neighbor {next_node} "
+                    f"from {packet.at}",
+                    visited,
+                )
+            self.forward_one_hop(packet, next_node, accounting)
+            visited.append(next_node)
+        raise ForwardingLoopError(
+            f"walk exceeded {budget} hops without terminating", visited
+        )
+
+    def follow_source_route(
+        self,
+        packet: Packet,
+        route: List[int],
+        accounting: RecoveryAccounting,
+    ) -> Tuple[bool, Optional[int]]:
+        """Forward ``packet`` along an explicit route, stopping at failures.
+
+        Returns ``(delivered, drop_node)``.  §III-D: if the recovery path
+        contains a failure RTR missed, the packet is simply discarded at the
+        node that detects it.
+        """
+        if route[0] != packet.at:
+            raise ForwardingLoopError(
+                f"source route starts at {route[0]} but packet is at {packet.at}",
+                [packet.at],
+            )
+        for next_node in route[1:]:
+            if not self.view.is_neighbor_reachable(packet.at, next_node):
+                return False, packet.at
+            self.forward_one_hop(packet, next_node, accounting)
+        return True, None

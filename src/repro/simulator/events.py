@@ -1,0 +1,77 @@
+"""A minimal discrete-event simulation core.
+
+Most of the evaluation is deterministic walk-by-walk accounting, but two
+pieces genuinely need a clock: the Fig. 10 transmission-overhead timeline
+(packets sent continuously while recovery progresses) and the IGP
+convergence interplay in the examples.  This queue is deliberately small:
+time-ordered callbacks with stable FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Action = Callable[[], None]
+
+
+class EventQueue:
+    """A time-ordered callback queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, when: float, action: Action) -> None:
+        """Run ``action`` at absolute time ``when`` (>= now)."""
+        if when < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now {self.now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._counter), action))
+
+    def schedule_in(self, delay: float, action: Action) -> None:
+        """Run ``action`` ``delay`` seconds from now."""
+        self.schedule(self.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting."""
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Process the next event; False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, action = heapq.heappop(self._heap)
+        self.now = when
+        action()
+        self.processed += 1
+        return True
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 10_000_000
+    ) -> float:
+        """Drain the queue, optionally stopping at time ``until``.
+
+        Returns the final clock value.  ``max_events`` guards against
+        accidental event storms in user code.
+        """
+        count = 0
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            if count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            count += 1
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

@@ -1,0 +1,35 @@
+"""Topology substrate: embedded graphs, generators, and the Table II catalog."""
+
+from .graph import Link, Topology
+from .generators import (
+    DEFAULT_AREA,
+    geometric_isp,
+    grid_topology,
+    random_planar_delaunay_like,
+    random_positions,
+    ring_topology,
+    star_topology,
+)
+from . import isp_catalog
+from .io import load_topology, save_topology, topology_from_dict, topology_to_dict
+from .rocketfuel import load_rocketfuel
+from . import validation
+
+__all__ = [
+    "Link",
+    "Topology",
+    "DEFAULT_AREA",
+    "geometric_isp",
+    "grid_topology",
+    "random_planar_delaunay_like",
+    "random_positions",
+    "ring_topology",
+    "star_topology",
+    "isp_catalog",
+    "load_rocketfuel",
+    "load_topology",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+    "validation",
+]

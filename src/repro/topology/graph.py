@@ -1,0 +1,300 @@
+"""Embedded network topologies.
+
+The paper models the network as an undirected graph of routers and links
+(§II-A) where
+
+* every node has plane coordinates known to all routers,
+* link costs may be asymmetric (``c_ij != c_ji``),
+* routing uses shortest paths on the link costs (the evaluation uses hop
+  count, i.e. unit costs).
+
+:class:`Topology` is the single source of truth for all of this, plus the
+per-link *cross-link* sets that §III-C says routers precompute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set
+
+from ..errors import TopologyError, UnknownLinkError, UnknownNodeError
+from ..geometry import Point, Segment, compute_cross_links
+
+
+class Link(NamedTuple):
+    """Canonical identity of an undirected link.
+
+    Endpoints are stored in sorted order so that ``Link.of(4, 11)`` and
+    ``Link.of(11, 4)`` compare equal — the paper's ``e_{i,j}`` names an
+    undirected link even though its two directed costs may differ.
+    """
+
+    u: int
+    v: int
+
+    @classmethod
+    def of(cls, a: int, b: int) -> "Link":
+        """The canonical link between nodes ``a`` and ``b``."""
+        if a == b:
+            raise TopologyError(f"self-loop link at node {a} is not allowed")
+        return cls(a, b) if a < b else cls(b, a)
+
+    def other(self, node: int) -> int:
+        """The endpoint that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise TopologyError(f"node {node} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"e{self.u},{self.v}"
+
+
+class Topology:
+    """An undirected graph embedded in the plane.
+
+    Nodes are integer ids with coordinates; links are undirected with a cost
+    per direction.  Links additionally get a dense integer *index* in
+    insertion order — the 16-bit link id that RTR and FCP record in packet
+    headers (§III-B), used by the byte-accounting in
+    :mod:`repro.simulator.stats`.
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._coords: Dict[int, Point] = {}
+        self._adjacency: Dict[int, Dict[int, float]] = {}
+        self._link_index: Dict[Link, int] = {}
+        self._links: List[Link] = []
+        self._cross_links: Optional[Dict[Link, Set[Link]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: int, position: Point) -> None:
+        """Add a node at ``position``; re-adding an existing node moves it."""
+        if node in self._coords and self._adjacency[node]:
+            # Moving a connected node would silently invalidate the embedding.
+            raise TopologyError(f"node {node} already exists with incident links")
+        self._coords[node] = position
+        self._adjacency.setdefault(node, {})
+        self._cross_links = None
+
+    def add_link(
+        self, a: int, b: int, cost: float = 1.0, reverse_cost: Optional[float] = None
+    ) -> Link:
+        """Add an undirected link with per-direction costs.
+
+        ``cost`` applies to direction ``a -> b``; ``reverse_cost`` defaults to
+        ``cost`` (symmetric link).  Returns the canonical :class:`Link`.
+        """
+        for node in (a, b):
+            if node not in self._coords:
+                raise UnknownNodeError(node)
+        if cost <= 0 or (reverse_cost is not None and reverse_cost <= 0):
+            raise TopologyError(f"link costs must be positive: {a}-{b}")
+        link = Link.of(a, b)
+        if link in self._link_index:
+            raise TopologyError(f"link {link} already exists")
+        self._adjacency[a][b] = float(cost)
+        self._adjacency[b][a] = float(cost if reverse_cost is None else reverse_cost)
+        self._link_index[link] = len(self._links)
+        self._links.append(link)
+        self._cross_links = None
+        return link
+
+    def remove_link(self, a: int, b: int) -> None:
+        """Remove the link between ``a`` and ``b``.
+
+        Link indices of the remaining links are preserved (the removed index
+        is retired), matching how deployed routers keep stable link ids
+        across topology changes.
+        """
+        link = Link.of(a, b)
+        if link not in self._link_index:
+            raise UnknownLinkError(link)
+        del self._adjacency[a][b]
+        del self._adjacency[b][a]
+        index = self._link_index.pop(link)
+        self._links[index] = None  # type: ignore[call-overload]
+        self._cross_links = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._coords)
+
+    @property
+    def link_count(self) -> int:
+        """Number of links."""
+        return len(self._link_index)
+
+    def nodes(self) -> Iterator[int]:
+        """All node ids."""
+        return iter(self._coords)
+
+    def links(self) -> Iterator[Link]:
+        """All links, in insertion (index) order."""
+        return (link for link in self._links if link is not None)
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` exists."""
+        return node in self._coords
+
+    def has_link(self, a: int, b: int) -> bool:
+        """Whether a link between ``a`` and ``b`` exists."""
+        return a != b and Link.of(a, b) in self._link_index
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Neighbors of ``node``."""
+        if node not in self._adjacency:
+            raise UnknownNodeError(node)
+        return iter(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Number of links incident to ``node``."""
+        if node not in self._adjacency:
+            raise UnknownNodeError(node)
+        return len(self._adjacency[node])
+
+    def position(self, node: int) -> Point:
+        """Coordinates of ``node``."""
+        try:
+            return self._coords[node]
+        except KeyError:
+            raise UnknownNodeError(node) from None
+
+    def cost(self, a: int, b: int) -> float:
+        """Cost of the directed use ``a -> b`` of the link between them."""
+        try:
+            return self._adjacency[a][b]
+        except KeyError:
+            raise UnknownLinkError(Link.of(a, b)) from None
+
+    def link_index(self, link: Link) -> int:
+        """Dense integer index of ``link`` (the header link id)."""
+        try:
+            return self._link_index[link]
+        except KeyError:
+            raise UnknownLinkError(link) from None
+
+    def link_at(self, index: int) -> Link:
+        """Inverse of :meth:`link_index`."""
+        if 0 <= index < len(self._links) and self._links[index] is not None:
+            return self._links[index]
+        raise UnknownLinkError(index)
+
+    def segment(self, link: Link) -> Segment:
+        """The embedded straight segment of ``link``."""
+        return Segment(self.position(link.u), self.position(link.v))
+
+    def incident_links(self, node: int) -> List[Link]:
+        """Links incident to ``node``."""
+        return [Link.of(node, nb) for nb in self.neighbors(node)]
+
+    def euclidean_length(self, link: Link) -> float:
+        """Length of the embedded link segment."""
+        return self.segment(link).length()
+
+    # ------------------------------------------------------------------
+    # Cross links (precomputed per §III-C)
+    # ------------------------------------------------------------------
+
+    def cross_links(self, link: Link) -> Set[Link]:
+        """Links that geometrically cross ``link`` (cached after first call)."""
+        if self._cross_links is None:
+            pairs = [(lk, self.segment(lk)) for lk in self.links()]
+            self._cross_links = compute_cross_links(pairs)
+        try:
+            return self._cross_links[link]
+        except KeyError:
+            raise UnknownLinkError(link) from None
+
+    def all_cross_links(self) -> Dict[Link, Set[Link]]:
+        """The complete precomputed crossing map."""
+        if self._cross_links is None:
+            pairs = [(lk, self.segment(lk)) for lk in self.links()]
+            self._cross_links = compute_cross_links(pairs)
+        return self._cross_links
+
+    def is_planar_embedding(self) -> bool:
+        """Whether no two links cross in this embedding."""
+        return all(not s for s in self.all_cross_links().values())
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def component_of(
+        self,
+        start: int,
+        excluded_nodes: Optional[Set[int]] = None,
+        excluded_links: Optional[Set[Link]] = None,
+    ) -> Set[int]:
+        """Connected component containing ``start``, honouring exclusions."""
+        if start not in self._adjacency:
+            raise UnknownNodeError(start)
+        excluded_nodes = excluded_nodes or set()
+        excluded_links = excluded_links or set()
+        if start in excluded_nodes:
+            return set()
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nb in self._adjacency[node]:
+                if nb in seen or nb in excluded_nodes:
+                    continue
+                if Link.of(node, nb) in excluded_links:
+                    continue
+                seen.add(nb)
+                stack.append(nb)
+        return seen
+
+    def is_connected(self) -> bool:
+        """Whether the whole topology is one connected component."""
+        if self.node_count == 0:
+            return True
+        first = next(iter(self._coords))
+        return len(self.component_of(first)) == self.node_count
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        """A deep, independent copy."""
+        clone = Topology(name or self.name)
+        for node, pos in self._coords.items():
+            clone._coords[node] = pos
+            clone._adjacency[node] = {}
+        for link in self.links():
+            clone._adjacency[link.u][link.v] = self._adjacency[link.u][link.v]
+            clone._adjacency[link.v][link.u] = self._adjacency[link.v][link.u]
+            clone._link_index[link] = len(clone._links)
+            clone._links.append(link)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, nodes={self.node_count}, "
+            f"links={self.link_count})"
+        )
+
+
+def complete_graph_positions(n: int, scale: float = 1000.0) -> Dict[int, Point]:
+    """Positions of ``n`` nodes evenly spaced on a circle (test helper)."""
+    import math
+
+    return {
+        i: Point(
+            scale + scale * math.cos(2 * math.pi * i / n),
+            scale + scale * math.sin(2 * math.pi * i / n),
+        )
+        for i in range(n)
+    }

@@ -1,0 +1,66 @@
+"""Topology serialization.
+
+Plain JSON, so topologies can be archived with experiment outputs and
+re-loaded bit-for-bit (node ids, coordinates, per-direction costs, and link
+insertion order — the order matters because it defines header link ids).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import TopologyError
+from ..geometry import Point
+from .graph import Topology
+
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topo: Topology) -> Dict[str, Any]:
+    """A JSON-serializable representation of ``topo``."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": topo.name,
+        "nodes": [
+            {"id": node, "x": topo.position(node).x, "y": topo.position(node).y}
+            for node in sorted(topo.nodes())
+        ],
+        "links": [
+            {
+                "u": link.u,
+                "v": link.v,
+                "cost": topo.cost(link.u, link.v),
+                "reverse_cost": topo.cost(link.v, link.u),
+            }
+            for link in topo.links()
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise TopologyError(f"unsupported topology format: {data.get('format')!r}")
+    topo = Topology(data.get("name", "topology"))
+    for node in data["nodes"]:
+        topo.add_node(int(node["id"]), Point(float(node["x"]), float(node["y"])))
+    for link in data["links"]:
+        topo.add_link(
+            int(link["u"]),
+            int(link["v"]),
+            cost=float(link["cost"]),
+            reverse_cost=float(link["reverse_cost"]),
+        )
+    return topo
+
+
+def save_topology(topo: Topology, path: Union[str, Path]) -> None:
+    """Write ``topo`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(topology_to_dict(topo), indent=2))
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Read a topology previously written by :func:`save_topology`."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

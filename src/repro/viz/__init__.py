@@ -1,0 +1,6 @@
+"""Dependency-free SVG rendering: topologies, recovery traces, charts."""
+
+from .svg import render_topology, save_svg
+from .charts import cdf_chart, line_chart
+
+__all__ = ["render_topology", "save_svg", "cdf_chart", "line_chart"]

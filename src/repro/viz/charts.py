@@ -1,0 +1,197 @@
+"""Dependency-free SVG line charts for the figure reproductions.
+
+The paper's Figs. 7-13 are CDFs and time series; these helpers render the
+experiment drivers' output as self-contained SVG documents, so the
+benchmark harness leaves actual figures (not just number columns) in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Line colors, cycled (colorblind-aware ordering).
+PALETTE = [
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#e377c2",
+    "#17becf",
+    "#bcbd22",
+    "#7f7f7f",
+]
+
+MARGIN_LEFT = 62.0
+MARGIN_RIGHT = 16.0
+MARGIN_TOP = 34.0
+MARGIN_BOTTOM = 46.0
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:.3g}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def line_chart(
+    series: Dict[str, Series],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 400,
+    y_range: Optional[Tuple[float, float]] = None,
+    step: bool = False,
+) -> str:
+    """Render labeled series as an SVG line chart.
+
+    ``step=True`` draws staircase lines (the right rendering for empirical
+    CDFs).  Returns the SVG document as a string.
+    """
+    populated = {k: list(v) for k, v in series.items() if v}
+    xs = [x for pts in populated.values() for x, _ in pts]
+    ys = [y for pts in populated.values() for _, y in pts]
+    if not xs:
+        xs, ys = [0.0, 1.0], [0.0, 1.0]
+    min_x, max_x = min(xs), max(xs)
+    if y_range is not None:
+        min_y, max_y = y_range
+    else:
+        min_y, max_y = min(ys), max(ys)
+        if min_y > 0 and min_y < 0.3 * max_y:
+            min_y = 0.0
+    if max_x <= min_x:
+        max_x = min_x + 1.0
+    if max_y <= min_y:
+        max_y = min_y + 1.0
+
+    plot_w = width - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = height - MARGIN_TOP - MARGIN_BOTTOM
+
+    def px(x: float) -> float:
+        return MARGIN_LEFT + (x - min_x) / (max_x - min_x) * plot_w
+
+    def py(y: float) -> float:
+        return MARGIN_TOP + plot_h - (y - min_y) / (max_y - min_y) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" fill="#222">{html.escape(title)}</text>'
+        )
+
+    # Axes, grid, ticks.
+    for y in _ticks(min_y, max_y):
+        yy = py(y)
+        parts.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{yy:.1f}" x2="{width - MARGIN_RIGHT}" '
+            f'y2="{yy:.1f}" stroke="#e6e6e6"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 6}" y="{yy + 4:.1f}" text-anchor="end" '
+            f'font-size="10" fill="#555">{_fmt(y)}</text>'
+        )
+    for x in _ticks(min_x, max_x):
+        xx = px(x)
+        parts.append(
+            f'<line x1="{xx:.1f}" y1="{MARGIN_TOP}" x2="{xx:.1f}" '
+            f'y2="{height - MARGIN_BOTTOM}" stroke="#f0f0f0"/>'
+        )
+        parts.append(
+            f'<text x="{xx:.1f}" y="{height - MARGIN_BOTTOM + 16}" '
+            f'text-anchor="middle" font-size="10" fill="#555">{_fmt(x)}</text>'
+        )
+    parts.append(
+        f'<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" width="{plot_w:.1f}" '
+        f'height="{plot_h:.1f}" fill="none" stroke="#999"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{MARGIN_LEFT + plot_w / 2:.0f}" y="{height - 8}" '
+            f'text-anchor="middle" font-size="11" fill="#333">'
+            f"{html.escape(x_label)}</text>"
+        )
+    if y_label:
+        cy = MARGIN_TOP + plot_h / 2
+        parts.append(
+            f'<text x="14" y="{cy:.0f}" text-anchor="middle" font-size="11" '
+            f'fill="#333" transform="rotate(-90 14 {cy:.0f})">'
+            f"{html.escape(y_label)}</text>"
+        )
+
+    # Series lines + legend.
+    legend_y = MARGIN_TOP + 6
+    for i, (label, pts) in enumerate(populated.items()):
+        color = PALETTE[i % len(PALETTE)]
+        coords: List[str] = []
+        previous: Optional[Tuple[float, float]] = None
+        for x, y in pts:
+            if step and previous is not None:
+                coords.append(f"{px(x):.1f},{py(previous[1]):.1f}")
+            coords.append(f"{px(x):.1f},{py(y):.1f}")
+            previous = (x, y)
+        parts.append(
+            f'<polyline points="{" ".join(coords)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.8"/>'
+        )
+        lx = width - MARGIN_RIGHT - 150
+        ly = legend_y + i * 15
+        parts.append(
+            f'<line x1="{lx}" y1="{ly:.1f}" x2="{lx + 18}" y2="{ly:.1f}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 24}" y="{ly + 4:.1f}" font-size="10" '
+            f'fill="#333">{html.escape(label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def cdf_chart(
+    series: Dict[str, Series],
+    title: str = "",
+    x_label: str = "",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """A staircase CDF chart with the y axis pinned to [0, 1]."""
+    anchored = {}
+    for label, pts in series.items():
+        pts = list(pts)
+        if pts:
+            # Start the staircase at probability 0 for the first value.
+            pts = [(pts[0][0], 0.0)] + pts
+        anchored[label] = pts
+    return line_chart(
+        anchored,
+        title=title,
+        x_label=x_label,
+        y_label="cumulative distribution",
+        width=width,
+        height=height,
+        y_range=(0.0, 1.0),
+        step=True,
+    )

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.failures import FailureScenario
+from repro.geometry import Circle, Point
+from repro.topology import Topology, grid_topology, ring_topology
+from repro.topology.examples import (
+    PAPER_FAILURE_REGION,
+    paper_figure_topology,
+    paper_planar_topology,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def paper_topo() -> Topology:
+    """The 18-node general-graph example of Figs. 1/4/6."""
+    return paper_figure_topology()
+
+
+@pytest.fixture
+def paper_planar() -> Topology:
+    """The planarized variant (Fig. 2)."""
+    return paper_planar_topology()
+
+
+@pytest.fixture
+def paper_scenario(paper_topo: Topology) -> FailureScenario:
+    """The example failure: v10 dies, e6,11 and e4,11 are cut."""
+    return FailureScenario.from_region(paper_topo, PAPER_FAILURE_REGION)
+
+
+@pytest.fixture
+def grid5() -> Topology:
+    """A 5x5 grid (planar, plenty of equal-cost paths)."""
+    return grid_topology(5, 5)
+
+
+@pytest.fixture
+def ring8() -> Topology:
+    """An 8-node ring (exactly two paths between any pair)."""
+    return ring_topology(8)
+
+
+@pytest.fixture
+def tiny_line() -> Topology:
+    """Three nodes in a line: 0 - 1 - 2."""
+    topo = Topology("line3")
+    topo.add_node(0, Point(0, 0))
+    topo.add_node(1, Point(100, 0))
+    topo.add_node(2, Point(200, 0))
+    topo.add_link(0, 1)
+    topo.add_link(1, 2)
+    return topo
+
+
+def make_circle(x: float, y: float, r: float) -> Circle:
+    """Convenience for tests."""
+    return Circle(Point(x, y), r)

@@ -1,0 +1,94 @@
+"""Tests for repro.eval.episodes (record / save / load / replay)."""
+
+import pytest
+
+from repro.eval.episodes import Episode, ReplayMismatch, record, replay
+from repro.errors import EvaluationError
+from repro.topology import Link
+
+
+@pytest.fixture
+def paper_episode(paper_topo, paper_scenario):
+    return record(paper_topo, paper_scenario, 6, 17, 11)
+
+
+class TestRecord:
+    def test_captures_outcome(self, paper_episode):
+        assert paper_episode.delivered
+        assert paper_episode.walk == [6, 5, 4, 9, 13, 14, 12, 11, 12, 8, 7, 6]
+        assert paper_episode.recovery_path == [6, 5, 12, 18, 17]
+        assert paper_episode.sp_computations == 1
+
+    def test_trigger_derived_when_omitted(self, paper_topo, paper_scenario):
+        episode = record(paper_topo, paper_scenario, 6, 17)
+        assert episode.trigger == 11
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, paper_episode):
+        rebuilt = Episode.from_dict(paper_episode.to_dict())
+        assert rebuilt.walk == paper_episode.walk
+        assert rebuilt.recovery_path == paper_episode.recovery_path
+        assert rebuilt.scenario.failed_links == paper_episode.scenario.failed_links
+        assert rebuilt.scenario.failed_nodes == paper_episode.scenario.failed_nodes
+
+    def test_file_round_trip(self, paper_episode, tmp_path):
+        path = paper_episode.save(tmp_path / "episode.json")
+        loaded = Episode.load(path)
+        assert loaded.walk == paper_episode.walk
+        assert loaded.topology.link_count == paper_episode.topology.link_count
+
+    def test_region_preserved(self, paper_episode):
+        rebuilt = Episode.from_dict(paper_episode.to_dict())
+        assert rebuilt.scenario.region is not None
+        assert rebuilt.scenario.region.radius == pytest.approx(70.0)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(EvaluationError):
+            Episode.from_dict({"format": 99})
+
+
+class TestReplay:
+    def test_faithful_replay(self, paper_episode):
+        replay(paper_episode)  # must not raise
+
+    def test_replay_after_round_trip(self, paper_episode, tmp_path):
+        path = paper_episode.save(tmp_path / "e.json")
+        replay(Episode.load(path))
+
+    def test_tampered_episode_detected(self, paper_episode):
+        paper_episode.walk = list(reversed(paper_episode.walk))
+        with pytest.raises(ReplayMismatch):
+            replay(paper_episode)
+
+    def test_tampered_path_detected(self, paper_episode):
+        paper_episode.recovery_path = [6, 7, 8, 12, 18, 17]
+        with pytest.raises(ReplayMismatch):
+            replay(paper_episode)
+
+    def test_random_episode_replays(self):
+        import random
+
+        from repro.failures import FailureScenario, LocalView, random_circle
+        from repro.topology import isp_catalog
+
+        topo = isp_catalog.build("AS1239", seed=0)
+        rng = random.Random(12)
+        scenario = FailureScenario.from_region(topo, random_circle(rng))
+        while not scenario.failed_links:
+            scenario = FailureScenario.from_region(topo, random_circle(rng))
+        view = LocalView(scenario)
+        from repro.routing import RoutingTable
+
+        routing = RoutingTable(topo)
+        for initiator in sorted(scenario.live_nodes()):
+            bad = set(view.unreachable_neighbors(initiator))
+            if not bad:
+                continue
+            for destination in sorted(scenario.live_nodes()):
+                nh = routing.next_hop(initiator, destination)
+                if nh in bad:
+                    episode = record(topo, scenario, initiator, destination, nh)
+                    replay(episode)
+                    return
+        pytest.skip("no failed case in this scenario")

@@ -1,0 +1,143 @@
+"""Tests for repro.eval.experiments (the per-figure drivers).
+
+Small-scale runs that check each driver produces the right *shape* of
+output and that the qualitative claims of §IV hold: RTR's recovery ==
+optimal recovery, stretch 1, one SP calculation; FCP recovers everything
+but not always optimally; irrecoverable share grows with radius.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+TOPOS = ("AS1239",)
+SMALL = dict(topologies=TOPOS, seed=1)
+
+
+class TestTable2:
+    def test_rows_match_catalog(self):
+        rows = experiments.table2_topologies()
+        assert len(rows) == 8
+        by_name = {r["topology"]: r for r in rows}
+        assert by_name["AS7018"]["nodes"] == 115
+        assert all(r["built_nodes"] == r["nodes"] for r in rows)
+        assert all(r["built_links"] == r["links"] for r in rows)
+        assert all(r["connected"] for r in rows)
+
+
+class TestFig7:
+    def test_duration_cdf(self):
+        out = experiments.fig7_phase1_duration(
+            topologies=TOPOS, n_recoverable=40, n_irrecoverable=20, seed=1
+        )
+        cdf = out["AS1239"]["cdf"]
+        assert cdf[-1][1] == 1.0
+        # §IV-B: none of the paper's cases exceeded 110 ms; at this small
+        # scale we allow slack but durations must be tens of ms.
+        assert out["AS1239"]["summary"]["max"] < 200.0
+        assert out["AS1239"]["summary"]["mean"] > 0.0
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table3(self):
+        return experiments.table3_recoverable(n_cases=60, **SMALL)
+
+    def test_structure(self, table3):
+        assert set(table3) == {"AS1239", "Overall"}
+        assert set(table3["AS1239"]) == {"RTR", "FCP", "MRC"}
+
+    def test_rtr_recovery_equals_optimal(self, table3):
+        row = table3["AS1239"]["RTR"]
+        assert row["recovery_rate_pct"] == row["optimal_recovery_rate_pct"]
+        assert row["max_stretch"] in (0, 1)
+        assert row["max_sp_computations"] == 1
+
+    def test_fcp_full_recovery(self, table3):
+        row = table3["AS1239"]["FCP"]
+        assert row["recovery_rate_pct"] == 100.0
+        assert row["optimal_recovery_rate_pct"] <= 100.0
+
+    def test_mrc_worst(self, table3):
+        assert (
+            table3["AS1239"]["MRC"]["recovery_rate_pct"]
+            < table3["AS1239"]["RTR"]["recovery_rate_pct"]
+        )
+
+
+class TestFig8Fig9:
+    def test_stretch_cdfs(self):
+        out = experiments.fig8_stretch(n_cases=40, **SMALL)
+        rtr = out["AS1239"]["RTR"]
+        # RTR's stretch CDF is a single step at 1.0 (Theorem 2).
+        assert rtr == [(1.0, 1.0)]
+        fcp = out["AS1239"]["FCP"]
+        assert fcp[0][0] >= 1.0
+
+    def test_sp_cdfs(self):
+        out = experiments.fig9_sp_computations(n_cases=40, **SMALL)
+        rtr = out["AS1239"]["RTR"]
+        assert rtr == [(1.0, 1.0)]
+        fcp = out["AS1239"]["FCP"]
+        assert fcp[-1][0] >= 1.0
+
+
+class TestFig10:
+    def test_timeline_shape(self):
+        out = experiments.fig10_transmission_timeline(
+            n_cases=30, horizon=0.2, step=0.02, **SMALL
+        )
+        series = out["AS1239"]["RTR"]
+        times = [t for t, _ in series]
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(0.2)
+        # RTR's overhead decreases from the phase-1 peak to the steady
+        # source-route size (§IV-C: "quickly decreases... converges").
+        peak = max(v for _, v in series)
+        assert peak >= series[-1][1]
+
+    def test_rtr_converges_below_fcp(self):
+        out = experiments.fig10_transmission_timeline(
+            n_cases=40, horizon=0.5, step=0.05, **SMALL
+        )
+        rtr_final = out["AS1239"]["RTR"][-1][1]
+        fcp_final = out["AS1239"]["FCP"][-1][1]
+        assert rtr_final <= fcp_final
+
+
+class TestFig11:
+    def test_monotone_trend(self):
+        out = experiments.fig11_irrecoverable_fraction(
+            topologies=TOPOS, radii=[50, 150, 300], n_areas_per_radius=25, seed=1
+        )
+        series = out["AS1239"]
+        assert len(series) == 3
+        # Larger areas strand more destinations (allowing sampling noise,
+        # the ends of the sweep must be ordered).
+        assert series[0][1] < series[-1][1]
+
+    def test_percentages_in_range(self):
+        out = experiments.fig11_irrecoverable_fraction(
+            topologies=TOPOS, radii=[100], n_areas_per_radius=20, seed=2
+        )
+        for _, pct in out["AS1239"]:
+            assert 0.0 <= pct <= 100.0
+
+
+class TestIrrecoverableExperiments:
+    def test_fig12_rtr_single_computation(self):
+        out = experiments.fig12_wasted_computation(n_cases=40, **SMALL)
+        assert out["AS1239"]["RTR"] == [(1.0, 1.0)]
+
+    def test_fig13_rtr_below_fcp(self):
+        out = experiments.fig13_wasted_transmission(n_cases=40, **SMALL)
+        rtr = out["AS1239"]["RTR"]
+        fcp = out["AS1239"]["FCP"]
+        assert rtr[-1][0] <= fcp[-1][0]
+
+    def test_table4_savings(self):
+        out = experiments.table4_wasted_summary(n_cases=60, **SMALL)
+        assert out["Overall"]["RTR"]["avg_wasted_computation"] == 1.0
+        savings = out["Savings"]
+        assert savings["computation_saved_pct"] > 0
+        assert savings["transmission_saved_pct"] > 0

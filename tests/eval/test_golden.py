@@ -1,0 +1,45 @@
+"""Golden-output regression test.
+
+If this fails, the simulation's behaviour changed.  If the change is
+intentional, regenerate the snapshot with ``python -m repro.eval.golden``
+and review the diff; if not, a tie-break/accounting regression slipped in.
+"""
+
+import json
+
+from repro.eval.golden import (
+    DEFAULT_PATH,
+    compute_snapshot,
+    diff_against_golden,
+    load_snapshot,
+)
+
+
+class TestGoldenSnapshot:
+    def test_snapshot_exists(self):
+        assert DEFAULT_PATH.exists(), (
+            "missing golden snapshot; run `python -m repro.eval.golden`"
+        )
+
+    def test_current_behaviour_matches_snapshot(self):
+        differences = diff_against_golden()
+        assert differences == {}, (
+            "behaviour drifted from the golden snapshot; if intentional, "
+            "regenerate with `python -m repro.eval.golden`. Differences: "
+            + json.dumps(differences, indent=2)[:2000]
+        )
+
+    def test_snapshot_is_self_consistent(self):
+        snapshot = load_snapshot()
+        assert snapshot["parameters"]["topologies"] == ["AS1239", "AS209"]
+        # The recorded run must itself satisfy the paper's invariants.
+        for name in snapshot["parameters"]["topologies"]:
+            rtr_row = snapshot["table3"][name]["RTR"]
+            assert rtr_row["recovery_rate_pct"] == rtr_row["optimal_recovery_rate_pct"]
+            assert rtr_row["max_sp_computations"] == 1
+            assert snapshot["table4"][name]["RTR"]["avg_wasted_computation"] == 1.0
+
+    def test_compute_snapshot_is_deterministic(self):
+        a = json.loads(json.dumps(compute_snapshot(), sort_keys=True))
+        b = json.loads(json.dumps(compute_snapshot(), sort_keys=True))
+        assert a == b

@@ -1,0 +1,140 @@
+"""Tests for repro.eval.metrics."""
+
+import pytest
+
+from repro.eval import (
+    CaseRecord,
+    savings_ratio,
+    sp_computation_values,
+    stretch_values,
+    summarize_irrecoverable,
+    summarize_recoverable,
+    wasted_transmission_values,
+)
+from repro.eval import cases as _cases
+from repro.routing import Path
+from repro.simulator import RecoveryAccounting, RecoveryResult
+
+# Renamed alias keeps pytest from collecting the dataclass as a test class.
+Case = _cases.TestCase
+
+
+def make_record(
+    delivered=True,
+    path_cost=4.0,
+    optimal=4.0,
+    sp=1,
+    drop_hops=0,
+    drop_bytes=0,
+    approach="RTR",
+    recoverable=True,
+):
+    acc = RecoveryAccounting()
+    acc.count_sp(sp)
+    result = RecoveryResult(
+        approach=approach,
+        delivered=delivered,
+        path=Path((1, 2, 3), path_cost) if delivered else None,
+        accounting=acc,
+        drop_hops=drop_hops,
+        drop_packet_bytes=drop_bytes,
+    )
+    case = Case(
+        scenario_index=0,
+        initiator=1,
+        destination=3,
+        trigger=2,
+        recoverable=recoverable,
+        optimal_cost=optimal if recoverable else None,
+    )
+    return CaseRecord(case=case, result=result)
+
+
+class TestCaseRecord:
+    def test_stretch_optimal(self):
+        assert make_record(path_cost=4, optimal=4).stretch() == 1.0
+
+    def test_stretch_suboptimal(self):
+        assert make_record(path_cost=6, optimal=4).stretch() == 1.5
+
+    def test_stretch_none_when_dropped(self):
+        assert make_record(delivered=False).stretch() is None
+
+    def test_is_optimal(self):
+        assert make_record(path_cost=4, optimal=4).is_optimal()
+        assert not make_record(path_cost=5, optimal=4).is_optimal()
+
+
+class TestSummarizeRecoverable:
+    def test_rates(self):
+        records = [
+            make_record(path_cost=4, optimal=4),
+            make_record(path_cost=6, optimal=4),
+            make_record(delivered=False),
+            make_record(path_cost=3, optimal=3),
+        ]
+        summary = summarize_recoverable(records)
+        assert summary.cases == 4
+        assert summary.recovery_rate == 0.75
+        assert summary.optimal_recovery_rate == 0.5
+        assert summary.max_stretch == 1.5
+
+    def test_sp_stats(self):
+        records = [make_record(sp=1), make_record(sp=5), make_record(sp=3)]
+        summary = summarize_recoverable(records)
+        assert summary.max_sp_computations == 5
+        assert summary.mean_sp_computations == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_recoverable([])
+
+    def test_as_dict_percentages(self):
+        summary = summarize_recoverable([make_record()])
+        row = summary.as_dict()
+        assert row["recovery_rate_pct"] == 100.0
+        assert row["optimal_recovery_rate_pct"] == 100.0
+
+
+class TestSummarizeIrrecoverable:
+    def test_wasted_metrics(self):
+        records = [
+            make_record(
+                delivered=False, sp=1, drop_hops=0, drop_bytes=1010, recoverable=False
+            ),
+            make_record(
+                delivered=False, sp=3, drop_hops=5, drop_bytes=1010, recoverable=False
+            ),
+        ]
+        summary = summarize_irrecoverable(records)
+        assert summary.avg_wasted_computation == 2.0
+        assert summary.max_wasted_computation == 3
+        assert summary.avg_wasted_transmission == 5 * 1010 / 2
+        assert summary.max_wasted_transmission == 5 * 1010
+        assert summary.false_deliveries == 0
+
+
+class TestValueExtractors:
+    def test_stretch_values_skip_drops(self):
+        records = [make_record(), make_record(delivered=False)]
+        assert stretch_values(records) == [1.0]
+
+    def test_sp_values(self):
+        records = [make_record(sp=2), make_record(sp=7)]
+        assert sp_computation_values(records) == [2, 7]
+
+    def test_wasted_values(self):
+        records = [
+            make_record(delivered=False, drop_hops=2, drop_bytes=1000),
+            make_record(),
+        ]
+        assert wasted_transmission_values(records) == [2000.0, 0.0]
+
+
+class TestSavings:
+    def test_ratio(self):
+        # The paper's §I claim shape: FCP 5.9 vs RTR 1 -> 83.1 % saved.
+        assert savings_ratio(5.9, 1.0) == pytest.approx(0.8305, abs=1e-3)
+
+    def test_zero_baseline(self):
+        assert savings_ratio(0, 1) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for repro.eval.motivation (the §I packet-loss arithmetic)."""
+
+import pytest
+
+from repro.eval.motivation import (
+    availability_timeline,
+    packet_loss_during_convergence,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return packet_loss_during_convergence("AS209", seed=2, max_flows=150)
+
+
+class TestReport:
+    def test_flows_found(self, report):
+        assert report.flows > 0
+        assert 0 < report.recoverable_flows <= report.flows
+
+    def test_rtr_much_faster_than_convergence(self, report):
+        # The paper's pitch: tens of ms vs seconds.
+        assert report.mean_outage_with_rtr < report.mean_outage_without_rtr
+        assert report.worst_outage_with_rtr < report.network_converged_at
+
+    def test_packets_saved_positive(self, report):
+        assert report.packets_saved() > 0
+        assert (
+            report.packets_dropped_with_rtr
+            < report.packets_dropped_without_rtr
+        )
+
+    def test_oc192_magnitude(self, report):
+        # §I: a 10 Gb/s aggregate loses 1.25M packets per second of outage
+        # (1000-byte packets); the per-flow mean must follow that rate.
+        per_flow_without = (
+            report.packets_dropped_without_rtr / max(report.recoverable_flows, 1)
+        )
+        expected = report.mean_outage_without_rtr * 10e9 / 8 / 1000
+        assert per_flow_without == pytest.approx(expected, rel=1e-6)
+
+    def test_outage_without_rtr_is_convergence_bound(self, report):
+        for outage in report.outages:
+            assert outage.outage_without_rtr <= report.network_converged_at
+
+
+class TestAvailabilityTimeline:
+    def test_monotone_and_bounded(self, report):
+        samples = availability_timeline(report)
+        assert samples, "timeline must not be empty"
+        prev_without = prev_with = -1.0
+        for _t, up_without, up_with in samples:
+            assert 0.0 <= up_without <= 1.0
+            assert 0.0 <= up_with <= 1.0
+            assert up_without >= prev_without
+            assert up_with >= prev_with
+            prev_without, prev_with = up_without, up_with
+
+    def test_rtr_dominates_early(self, report):
+        samples = availability_timeline(report, step=0.05)
+        # Early in the window, RTR has restored more flows.
+        early = [s for s in samples if s[0] <= 0.5]
+        assert any(up_with > up_without for _t, up_without, up_with in early)
+
+    def test_both_converge_to_full_availability(self, report):
+        samples = availability_timeline(report)
+        _t, up_without, up_with = samples[-1]
+        assert up_without == 1.0
+        # RTR may leave the rare missed-failure flow waiting for the IGP;
+        # by the end of the window those are up too.
+        assert up_with == 1.0

@@ -1,0 +1,46 @@
+"""Tests for repro.eval.parallel (process-pool experiment fan-out)."""
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.parallel import parallel_table3, parallel_table4
+
+TOPOS = ("AS1239", "AS209")
+N = 40
+SEED = 3
+
+
+class TestParallelTable3:
+    @pytest.fixture(scope="class")
+    def parallel_out(self):
+        return parallel_table3(TOPOS, N, SEED, jobs=2)
+
+    def test_matches_serial(self, parallel_out):
+        serial = experiments.table3_recoverable(TOPOS, N, SEED)
+        for name in TOPOS:
+            for approach in ("RTR", "FCP", "MRC"):
+                assert parallel_out[name][approach] == serial[name][approach], (
+                    name,
+                    approach,
+                )
+
+    def test_overall_aggregation(self, parallel_out):
+        serial = experiments.table3_recoverable(TOPOS, N, SEED)
+        assert (
+            parallel_out["Overall"]["RTR"]["recovery_rate_pct"]
+            == serial["Overall"]["RTR"]["recovery_rate_pct"]
+        )
+        assert parallel_out["Overall"]["RTR"]["cases"] == N * len(TOPOS)
+
+
+class TestParallelTable4:
+    def test_matches_serial(self):
+        parallel_out = parallel_table4(TOPOS, N, SEED, jobs=2)
+        serial = experiments.table4_wasted_summary(TOPOS, N, SEED)
+        for name in TOPOS:
+            for approach in ("RTR", "FCP"):
+                assert parallel_out[name][approach] == serial[name][approach]
+        assert (
+            parallel_out["Overall"]["RTR"]["avg_wasted_computation"]
+            == serial["Overall"]["RTR"]["avg_wasted_computation"]
+        )

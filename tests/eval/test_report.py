@@ -1,0 +1,59 @@
+"""Tests for repro.eval.report."""
+
+from repro.eval.report import format_cdf, format_nested_table, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.123" in text
+
+
+class TestFormatNestedTable:
+    def test_flattens(self):
+        data = {
+            "AS1": {"RTR": {"rate": 98.0}, "FCP": {"rate": 100.0}},
+            "Savings": {"not_a_row": 1.0},  # non-dict rows skipped
+        }
+        text = format_nested_table(data)
+        assert "AS1" in text
+        assert "RTR" not in text.splitlines()[0]  # it's a cell, not a column
+        assert len(text.splitlines()) == 4
+
+
+class TestFormatCdf:
+    def test_quantiles(self):
+        points = [(float(i), i / 100.0) for i in range(1, 101)]
+        text = format_cdf(points)
+        assert "p50=50" in text
+        assert "p99=99" in text
+
+    def test_empty(self):
+        assert format_cdf([]) == "(empty)"
+
+
+class TestFormatSeries:
+    def test_downsamples(self):
+        series = [(float(i), float(i * i)) for i in range(100)]
+        text = format_series(series, max_points=5)
+        assert text.count(":") <= 8
+        assert "99:9.8e+03" in text or "99:" in text
+
+    def test_empty(self):
+        assert format_series([]) == "(empty)"

@@ -1,0 +1,69 @@
+"""Tests for repro.failures.detection (the local-knowledge boundary)."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.failures import FailureScenario, LocalView
+from repro.topology import Link
+
+
+class TestLocalView:
+    def test_neighbor_of_failed_node_unreachable(self, ring8):
+        scenario = FailureScenario.from_nodes(ring8, [3])
+        view = LocalView(scenario)
+        assert not view.is_neighbor_reachable(2, 3)
+        assert view.is_neighbor_reachable(2, 1)
+
+    def test_failed_link_unreachable_from_both_ends(self, ring8):
+        scenario = FailureScenario.single_link(ring8, Link.of(0, 1))
+        view = LocalView(scenario)
+        assert not view.is_neighbor_reachable(0, 1)
+        assert not view.is_neighbor_reachable(1, 0)
+
+    def test_non_neighbor_rejected(self, ring8):
+        view = LocalView(FailureScenario.from_nodes(ring8, []))
+        with pytest.raises(UnknownNodeError):
+            view.is_neighbor_reachable(0, 4)
+
+    def test_cannot_distinguish_node_from_link_failure(self, ring8):
+        # The information asymmetry of §II-A: from node 2's view, a failed
+        # neighbor 3 and a failed link 2-3 look identical.
+        node_fail = LocalView(FailureScenario.from_nodes(ring8, [3]))
+        link_fail = LocalView(
+            FailureScenario(
+                ring8, failed_links=[Link.of(2, 3), Link.of(3, 4)]
+            )
+        )
+        assert node_fail.unreachable_neighbors(2) == link_fail.unreachable_neighbors(2)
+
+    def test_unreachable_neighbors_of_paper_example(self, paper_scenario):
+        view = LocalView(paper_scenario)
+        assert sorted(view.unreachable_neighbors(11)) == [4, 6, 10]
+        assert view.unreachable_neighbors(6) == [11]
+        assert view.unreachable_neighbors(5) == [10]
+        assert view.unreachable_neighbors(7) == []
+
+    def test_reachable_neighbors_complement(self, paper_scenario):
+        view = LocalView(paper_scenario)
+        topo = paper_scenario.topo
+        for node in paper_scenario.live_nodes():
+            reach = set(view.reachable_neighbors(node))
+            unreach = set(view.unreachable_neighbors(node))
+            assert reach | unreach == set(topo.neighbors(node))
+            assert not reach & unreach
+
+    def test_locally_failed_links(self, paper_scenario):
+        view = LocalView(paper_scenario)
+        assert view.locally_failed_links(6) == [Link.of(6, 11)]
+
+    def test_is_isolated(self, tiny_line):
+        scenario = FailureScenario.from_nodes(tiny_line, [1])
+        view = LocalView(scenario)
+        assert view.is_isolated(0)
+        assert view.is_isolated(2)
+
+    def test_caching_returns_same_answer(self, paper_scenario):
+        view = LocalView(paper_scenario)
+        first = view.unreachable_neighbors(11)
+        second = view.unreachable_neighbors(11)
+        assert first == second

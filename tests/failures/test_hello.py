@@ -1,0 +1,85 @@
+"""Tests for repro.failures.hello (detection timing)."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.failures import FailureScenario
+from repro.failures.hello import (
+    BFD_TIMERS,
+    FAST_OSPF_TIMERS,
+    OSPF_TIMERS,
+    DetectionModel,
+    HelloConfig,
+)
+from repro.topology import Link
+
+
+class TestHelloConfig:
+    def test_dead_interval(self):
+        assert HelloConfig(0.05, 3).dead_interval == pytest.approx(0.15)
+
+    def test_profiles_ordered(self):
+        assert BFD_TIMERS.dead_interval < FAST_OSPF_TIMERS.dead_interval
+        assert FAST_OSPF_TIMERS.dead_interval < OSPF_TIMERS.dead_interval
+
+
+class TestDetectionModel:
+    def test_detection_within_bounds(self, paper_scenario):
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(1))
+        for (_r, _nb), t in model.all_detections().items():
+            assert (
+                BFD_TIMERS.dead_interval - BFD_TIMERS.hello_interval
+                <= t
+                <= BFD_TIMERS.dead_interval
+            )
+
+    def test_only_failed_adjacencies_detected(self, paper_scenario):
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(2))
+        detections = model.all_detections()
+        assert set(detections) == {
+            (6, 11), (11, 6), (4, 11), (11, 4), (11, 10),
+            (5, 10), (9, 10), (14, 10),
+        }
+
+    def test_live_adjacency_raises(self, paper_scenario):
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(3))
+        with pytest.raises(SimulationError):
+            model.detection_time(6, 7)
+
+    def test_independent_directions(self, ring8):
+        scenario = FailureScenario.single_link(ring8, Link.of(0, 1))
+        model = DetectionModel(scenario, BFD_TIMERS, random.Random(4))
+        # Both ends detect, generally at different instants.
+        t01 = model.detection_time(0, 1)
+        t10 = model.detection_time(1, 0)
+        assert t01 != t10
+
+    def test_first_detection(self, paper_scenario):
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(5))
+        first = model.first_detection(11)
+        assert first == min(
+            model.detection_time(11, nb) for nb in (4, 6, 10)
+        )
+        assert model.first_detection(17) is None
+
+    def test_recovery_start_matches_trigger_detection(self, paper_scenario):
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(6))
+        assert model.recovery_start(6, 11) == model.detection_time(6, 11)
+
+    def test_deterministic_for_seed(self, paper_scenario):
+        a = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(7))
+        b = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(7))
+        assert a.all_detections() == b.all_detections()
+
+    def test_earliest_network_detection(self, paper_scenario):
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(8))
+        earliest = model.earliest_network_detection()
+        assert earliest == min(model.all_detections().values())
+
+    def test_no_failures_no_detections(self, ring8):
+        scenario = FailureScenario(ring8)
+        model = DetectionModel(scenario, BFD_TIMERS, random.Random(9))
+        assert model.all_detections() == {}
+        assert model.earliest_network_detection() is None

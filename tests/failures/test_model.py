@@ -1,0 +1,103 @@
+"""Tests for repro.failures.model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.failures import FailureScenario
+from repro.geometry import Circle, Point
+from repro.topology import Link
+
+
+class TestFromRegion:
+    def test_nodes_inside_fail(self, grid5):
+        # Grid nodes are at (c*100, r*100); the circle covers node 12 only.
+        scenario = FailureScenario.from_region(grid5, Circle(Point(200, 200), 50))
+        assert scenario.failed_nodes == frozenset({12})
+
+    def test_links_of_failed_node_fail(self, grid5):
+        scenario = FailureScenario.from_region(grid5, Circle(Point(200, 200), 50))
+        assert Link.of(12, 11) in scenario.failed_links
+        assert Link.of(12, 17) in scenario.failed_links
+
+    def test_links_crossing_without_failed_endpoint(self, grid5):
+        # A circle between nodes 12 and 13 cuts the link without killing
+        # either router.
+        scenario = FailureScenario.from_region(grid5, Circle(Point(250, 200), 20))
+        assert scenario.failed_nodes == frozenset()
+        assert scenario.failed_links == frozenset({Link.of(12, 13)})
+
+    def test_empty_region(self, grid5):
+        scenario = FailureScenario.from_region(grid5, Circle(Point(5000, 5000), 10))
+        assert not scenario.failed_nodes
+        assert not scenario.failed_links
+
+
+class TestConstructors:
+    def test_single_link(self, ring8):
+        scenario = FailureScenario.single_link(ring8, Link.of(0, 1))
+        assert scenario.failed_links == frozenset({Link.of(0, 1)})
+        assert not scenario.failed_nodes
+
+    def test_from_nodes(self, ring8):
+        scenario = FailureScenario.from_nodes(ring8, [3])
+        assert scenario.failed_nodes == frozenset({3})
+        assert scenario.failed_links == frozenset({Link.of(2, 3), Link.of(3, 4)})
+
+    def test_unknown_node_rejected(self, ring8):
+        with pytest.raises(TopologyError):
+            FailureScenario.from_nodes(ring8, [99])
+
+
+class TestQueries:
+    def test_liveness(self, ring8):
+        scenario = FailureScenario.from_nodes(ring8, [3])
+        assert not scenario.is_node_live(3)
+        assert scenario.is_node_live(2)
+        assert not scenario.is_link_live(Link.of(2, 3))
+        assert scenario.is_link_live(Link.of(1, 2))
+
+    def test_live_nodes(self, ring8):
+        scenario = FailureScenario.from_nodes(ring8, [3])
+        assert scenario.live_nodes() == set(range(8)) - {3}
+
+    def test_cut_links_between_live_nodes(self, paper_scenario):
+        cut = paper_scenario.cut_links_between_live_nodes()
+        assert cut == {Link.of(6, 11), Link.of(4, 11)}
+
+    def test_reachable_in_survivor_graph(self, ring8):
+        scenario = FailureScenario.from_nodes(ring8, [3])
+        assert scenario.reachable(2, 4)  # the long way around
+
+    def test_unreachable_when_partitioned(self, tiny_line):
+        scenario = FailureScenario.single_link(tiny_line, Link.of(1, 2))
+        assert not scenario.reachable(0, 2)
+        assert scenario.reachable(0, 1)
+
+    def test_failed_endpoint_unreachable(self, ring8):
+        scenario = FailureScenario.from_nodes(ring8, [3])
+        assert not scenario.reachable(0, 3)
+        assert not scenario.reachable(3, 0)
+
+
+class TestMerge:
+    def test_merged_failures_union(self, ring8):
+        a = FailureScenario.from_nodes(ring8, [1])
+        b = FailureScenario.from_nodes(ring8, [5])
+        merged = a.merged_with(b)
+        assert merged.failed_nodes == frozenset({1, 5})
+        assert Link.of(0, 1) in merged.failed_links
+        assert Link.of(5, 6) in merged.failed_links
+
+    def test_merge_requires_same_topology(self, ring8, grid5):
+        a = FailureScenario.from_nodes(ring8, [1])
+        b = FailureScenario.from_nodes(grid5, [1])
+        with pytest.raises(TopologyError):
+            a.merged_with(b)
+
+    def test_merged_regions_combined(self, grid5):
+        a = FailureScenario.from_region(grid5, Circle(Point(0, 0), 10))
+        b = FailureScenario.from_region(grid5, Circle(Point(400, 400), 10))
+        merged = a.merged_with(b)
+        assert merged.region is not None
+        assert merged.region.contains(Point(0, 0))
+        assert merged.region.contains(Point(400, 400))

@@ -1,0 +1,72 @@
+"""Tests for repro.geometry.hull."""
+
+from repro.geometry import Point, convex_hull, polygon_contains
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        pts = [Point(0, 0), Point(10, 0), Point(5, 10)]
+        hull = convex_hull(pts)
+        assert set(hull) == set(pts)
+
+    def test_interior_points_dropped(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10), Point(5, 5)]
+        hull = convex_hull(pts)
+        assert Point(5, 5) not in hull
+        assert len(hull) == 4
+
+    def test_collinear_points_dropped(self):
+        pts = [Point(0, 0), Point(5, 0), Point(10, 0), Point(5, 5)]
+        hull = convex_hull(pts)
+        assert Point(5, 0) not in hull
+
+    def test_counterclockwise_order(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        hull = convex_hull(pts)
+        # Shoelace area must be positive for CCW.
+        area = sum(
+            hull[i].cross(hull[(i + 1) % len(hull)]) for i in range(len(hull))
+        )
+        assert area > 0
+
+    def test_duplicates_removed(self):
+        pts = [Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert len(convex_hull(pts)) == 3
+
+    def test_degenerate_two_points(self):
+        assert convex_hull([Point(0, 0), Point(1, 1)]) == [Point(0, 0), Point(1, 1)]
+
+    def test_degenerate_single_point(self):
+        assert convex_hull([Point(2, 3)]) == [Point(2, 3)]
+
+
+class TestPolygonContains:
+    def test_inside_square(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        )
+        assert polygon_contains(hull, Point(5, 5))
+
+    def test_outside_square(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        )
+        assert not polygon_contains(hull, Point(11, 5))
+
+    def test_on_boundary(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        )
+        assert polygon_contains(hull, Point(10, 5))
+
+    def test_degenerate_segment_hull(self):
+        hull = [Point(0, 0), Point(10, 0)]
+        assert polygon_contains(hull, Point(5, 0))
+        assert not polygon_contains(hull, Point(5, 1))
+
+    def test_empty_hull(self):
+        assert not polygon_contains([], Point(0, 0))
+
+    def test_single_point_hull(self):
+        assert polygon_contains([Point(1, 1)], Point(1, 1))
+        assert not polygon_contains([Point(1, 1)], Point(2, 1))

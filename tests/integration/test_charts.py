@@ -1,0 +1,67 @@
+"""Tests for repro.viz.charts (SVG figure rendering)."""
+
+import xml.etree.ElementTree as ET
+
+from repro.viz import cdf_chart, line_chart
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart({"a": [(0, 0), (1, 2), (2, 1)]}, title="t")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_legend_and_labels(self):
+        svg = line_chart(
+            {"RTR": [(0, 1)], "FCP": [(0, 2)]},
+            title="Fig X",
+            x_label="time",
+            y_label="bytes",
+        )
+        assert ">RTR</text>" in svg
+        assert ">FCP</text>" in svg
+        assert ">time</text>" in svg
+        assert ">bytes</text>" in svg
+        assert ">Fig X</text>" in svg
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert svg.count("<polyline") == 2
+
+    def test_empty_series_skipped(self):
+        svg = line_chart({"a": [], "b": [(0, 1), (1, 2)]})
+        assert svg.count("<polyline") == 1
+
+    def test_fully_empty_input_still_renders(self):
+        ET.fromstring(line_chart({}))
+
+    def test_escaping(self):
+        svg = line_chart({"<&>": [(0, 1)]}, title="a<b")
+        assert "&lt;&amp;&gt;" in svg
+        ET.fromstring(svg)
+
+    def test_degenerate_flat_series(self):
+        # Constant y must not divide by zero.
+        ET.fromstring(line_chart({"flat": [(0, 5), (1, 5)]}))
+
+
+class TestCdfChart:
+    def test_y_axis_pinned(self):
+        svg = cdf_chart({"RTR": [(1.0, 1.0)]})
+        # The y tick labels include 0 and 1.
+        assert ">0</text>" in svg
+        assert ">1</text>" in svg
+
+    def test_staircase_renders(self):
+        svg = cdf_chart({"FCP": [(1.0, 0.5), (2.0, 0.8), (4.0, 1.0)]})
+        ET.fromstring(svg)
+        assert svg.count("<polyline") == 1
+
+    def test_experiment_output_plugs_in(self):
+        from repro.eval import experiments
+
+        out = experiments.fig8_stretch(
+            topologies=("AS1239",), n_cases=20, seed=1
+        )
+        svg = cdf_chart(out["AS1239"], title="Fig. 8 (AS1239)", x_label="stretch")
+        ET.fromstring(svg)

@@ -1,0 +1,119 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopoCommands:
+    def test_list(self, capsys):
+        assert main(["topo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "AS7018" in out
+        assert "AS2914" not in out
+
+    def test_list_extended(self, capsys):
+        assert main(["topo", "list", "--extended"]) == 0
+        assert "AS2914" in capsys.readouterr().out
+
+    def test_build_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["topo", "build", "AS1239", "-o", str(out_file)]) == 0
+        assert out_file.exists()
+
+    def test_build_without_file(self, capsys):
+        assert main(["topo", "build", "as1239"]) == 0
+        assert "nodes=52" in capsys.readouterr().out
+
+    def test_stats_from_catalog(self, capsys):
+        assert main(["topo", "stats", "AS209"]) == 0
+        assert "58" in capsys.readouterr().out
+
+    def test_stats_from_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        main(["topo", "build", "AS1239", "-o", str(out_file)])
+        capsys.readouterr()
+        assert main(["topo", "stats", str(out_file)]) == 0
+        assert "52" in capsys.readouterr().out
+
+
+class TestRecoverCommand:
+    def test_random_failure(self, capsys):
+        assert main(["recover", "--topology", "AS1239", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "phase 1" in out
+
+    def test_explicit_circle(self, capsys):
+        code = main(
+            [
+                "recover",
+                "--topology",
+                "AS209",
+                "--cx", "1000", "--cy", "1000", "--radius", "300",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "failure" in out or "destroyed nothing" in out
+
+    def test_harmless_circle_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "recover",
+                "--topology", "AS209",
+                "--cx", "99999", "--cy", "99999", "--radius", "1",
+            ]
+        )
+        assert code == 1
+
+
+class TestEvalCommand:
+    def test_table2(self, capsys):
+        assert main(["eval", "table2"]) == 0
+        assert "AS3549" in capsys.readouterr().out
+
+    def test_table3_small(self, capsys):
+        assert (
+            main(["eval", "table3", "--cases", "20", "--topos", "AS1239"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "RTR" in out and "MRC" in out
+
+    def test_fig8_small(self, capsys):
+        assert main(["eval", "fig8", "--cases", "20", "--topos", "AS1239"]) == 0
+        assert "p50=1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "fig99"])
+
+
+class TestRenderCommand:
+    def test_plain_topology(self, tmp_path, capsys):
+        target = tmp_path / "t.svg"
+        assert (
+            main(["render", "--topology", "AS1239", "-o", str(target)]) == 0
+        )
+        assert target.exists()
+        assert target.read_text().startswith("<svg")
+
+    def test_with_failure(self, tmp_path, capsys):
+        target = tmp_path / "f.svg"
+        assert (
+            main(
+                [
+                    "render", "--topology", "AS1239", "--failure",
+                    "--seed", "1", "-o", str(target),
+                ]
+            )
+            == 0
+        )
+        assert "polyline" in target.read_text()
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for repro.viz (SVG rendering)."""
+
+import xml.etree.ElementTree as ET
+
+from repro import RTR
+from repro.viz import render_topology, save_svg
+
+
+class TestRenderTopology:
+    def test_valid_xml(self, paper_topo):
+        svg = render_topology(paper_topo)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_all_nodes_and_links(self, paper_topo):
+        svg = render_topology(paper_topo, labels=True)
+        assert svg.count("<circle") == paper_topo.node_count
+        assert svg.count("<line") == paper_topo.link_count
+        for node in paper_topo.nodes():
+            assert f">v{node}</text>" in svg
+
+    def test_failure_overlay(self, paper_topo, paper_scenario):
+        svg = render_topology(paper_topo, scenario=paper_scenario)
+        # Region circle + failed elements rendered in the failure color.
+        assert svg.count("#d62728") >= 1 + len(paper_scenario.failed_links)
+
+    def test_walk_and_recovery_overlays(self, paper_topo, paper_scenario):
+        rtr = RTR(paper_topo, paper_scenario)
+        result = rtr.recover(6, 17, 11)
+        phase1 = rtr.phase1_for(6, 11)
+        svg = render_topology(
+            paper_topo,
+            scenario=paper_scenario,
+            walk=phase1.walk,
+            recovery_path=list(result.path.nodes),
+        )
+        assert svg.count("<polyline") == 2
+        ET.fromstring(svg)  # still valid XML
+
+    def test_multi_area_region(self, grid5):
+        import random
+
+        from repro.failures import multi_area_scenario
+
+        scenario = multi_area_scenario(
+            grid5, random.Random(1), n_areas=2, radius_range=(30, 60), area=400
+        )
+        svg = render_topology(grid5, scenario=scenario, labels=False)
+        ET.fromstring(svg)
+
+    def test_title_escaped(self, grid5):
+        svg = render_topology(grid5, title="a <b> & c")
+        assert "<title>a &lt;b&gt; &amp; c</title>" in svg
+
+    def test_save_svg(self, grid5, tmp_path):
+        target = save_svg(render_topology(grid5), tmp_path / "g.svg")
+        assert target.exists()
+        ET.fromstring(target.read_text())

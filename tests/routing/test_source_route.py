@@ -1,0 +1,44 @@
+"""Tests for repro.routing.source_route."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import BYTES_PER_ENTRY, Path, SourceRoute
+
+
+class TestSourceRoute:
+    def test_from_path(self):
+        route = SourceRoute.from_path(Path((1, 2, 3), 2.0))
+        assert route.current == 1
+        assert route.destination == 3
+
+    def test_advance(self):
+        route = SourceRoute([1, 2, 3])
+        assert route.next_hop() == 2
+        assert route.advance() == 2
+        assert route.current == 2
+        assert route.remaining_hops() == 1
+
+    def test_finished(self):
+        route = SourceRoute([1, 2])
+        assert not route.finished
+        route.advance()
+        assert route.finished
+
+    def test_next_hop_at_end_raises(self):
+        route = SourceRoute([1])
+        with pytest.raises(RoutingError):
+            route.next_hop()
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            SourceRoute([])
+
+    def test_header_bytes(self):
+        # 16-bit ids: 2 bytes per recorded node (§III-B).
+        assert SourceRoute([1, 2, 3]).header_bytes() == 3 * BYTES_PER_ENTRY
+
+    def test_as_list_is_full_route(self):
+        route = SourceRoute([1, 2, 3])
+        route.advance()
+        assert route.as_list() == [1, 2, 3]

@@ -1,0 +1,61 @@
+"""Tests for repro.routing.tables."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.routing import RoutingTable
+
+
+class TestRoutingTable:
+    def test_next_hop_on_line(self, tiny_line):
+        table = RoutingTable(tiny_line)
+        assert table.next_hop(0, 2) == 1
+        assert table.next_hop(1, 2) == 2
+
+    def test_next_hop_at_destination(self, tiny_line):
+        assert RoutingTable(tiny_line).next_hop(2, 2) is None
+
+    def test_next_hop_unreachable(self, tiny_line):
+        tiny_line.remove_link(1, 2)
+        table = RoutingTable(tiny_line)
+        assert table.next_hop(0, 2) is None
+
+    def test_path(self, grid5):
+        table = RoutingTable(grid5)
+        path = table.path(0, 24)
+        assert path is not None
+        assert path.source == 0 and path.destination == 24
+        assert path.hop_count == 8
+
+    def test_distance(self, grid5):
+        assert RoutingTable(grid5).distance(0, 12) == 4
+
+    def test_distance_unreachable(self, tiny_line):
+        tiny_line.remove_link(0, 1)
+        assert RoutingTable(tiny_line).distance(0, 2) is None
+
+    def test_unknown_destination(self, tiny_line):
+        with pytest.raises(UnknownNodeError):
+            RoutingTable(tiny_line).next_hop(0, 99)
+
+    def test_tree_caching(self, grid5):
+        table = RoutingTable(grid5)
+        t1 = table.tree_to(24)
+        t2 = table.tree_to(24)
+        assert t1 is t2
+
+    def test_precompute_all(self, ring8):
+        table = RoutingTable(ring8)
+        table.precompute_all()
+        assert len(table._trees) == 8
+
+    def test_paths_consistent_with_hop_by_hop(self, grid5):
+        # Walking next hops reproduces path() — the forwarding invariant.
+        table = RoutingTable(grid5)
+        for src in [0, 7, 13]:
+            path = table.path(src, 24)
+            node, walked = src, [src]
+            while node != 24:
+                node = table.next_hop(node, 24)
+                walked.append(node)
+            assert walked == list(path.nodes)

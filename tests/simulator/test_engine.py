@@ -1,0 +1,94 @@
+"""Tests for repro.simulator.engine (the forwarding loop)."""
+
+import pytest
+
+from repro.errors import ForwardingLoopError
+from repro.failures import FailureScenario, LocalView
+from repro.simulator import ForwardingEngine, Packet, RecoveryAccounting
+from repro.topology import Link
+
+
+def make_engine(topo, failed_nodes=(), failed_links=()):
+    scenario = FailureScenario(topo, failed_nodes, failed_links)
+    return ForwardingEngine(topo, LocalView(scenario))
+
+
+class TestForwardOneHop:
+    def test_moves_and_accounts(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=4)
+        acc = RecoveryAccounting()
+        engine.forward_one_hop(packet, 1, acc)
+        assert packet.at == 1
+        assert packet.recovery_hops == 1
+        assert acc.hops_traveled == 1
+        assert acc.clock == pytest.approx(1.8e-3)
+
+
+class TestWalk:
+    def test_walk_until_none(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=0)
+
+        def decide(node, pkt):
+            return (node + 1) if node < 3 else None
+
+        acc = RecoveryAccounting()
+        visited = engine.walk(packet, decide, acc)
+        assert visited == [0, 1, 2, 3]
+        assert acc.hops_traveled == 3
+
+    def test_walk_rejects_unreachable_choice(self, ring8):
+        engine = make_engine(ring8, failed_links=[Link.of(0, 1)])
+        packet = Packet(source=0, destination=0)
+        with pytest.raises(ForwardingLoopError):
+            engine.walk(packet, lambda n, p: 1, RecoveryAccounting())
+
+    def test_walk_hop_budget(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=0)
+        with pytest.raises(ForwardingLoopError) as exc:
+            engine.walk(
+                packet, lambda n, p: (n + 1) % 8, RecoveryAccounting(), max_hops=20
+            )
+        assert len(exc.value.walk) == 21
+
+    def test_immediate_stop(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=5, destination=5)
+        visited = engine.walk(packet, lambda n, p: None, RecoveryAccounting())
+        assert visited == [5]
+
+
+class TestFollowSourceRoute:
+    def test_delivery(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=3)
+        acc = RecoveryAccounting()
+        delivered, drop = engine.follow_source_route(packet, [0, 1, 2, 3], acc)
+        assert delivered and drop is None
+        assert packet.at == 3
+        assert acc.hops_traveled == 3
+
+    def test_drop_at_failure(self, ring8):
+        engine = make_engine(ring8, failed_links=[Link.of(2, 3)])
+        packet = Packet(source=0, destination=3)
+        acc = RecoveryAccounting()
+        delivered, drop = engine.follow_source_route(packet, [0, 1, 2, 3], acc)
+        assert not delivered
+        assert drop == 2
+        assert acc.hops_traveled == 2
+
+    def test_route_must_start_at_packet(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=3)
+        with pytest.raises(ForwardingLoopError):
+            engine.follow_source_route(packet, [1, 2, 3], RecoveryAccounting())
+
+    def test_drop_at_failed_destination_predecessor(self, ring8):
+        engine = make_engine(ring8, failed_nodes=[3])
+        packet = Packet(source=0, destination=3)
+        delivered, drop = engine.follow_source_route(
+            packet, [0, 1, 2, 3], RecoveryAccounting()
+        )
+        assert not delivered and drop == 2

@@ -1,0 +1,92 @@
+"""Tests for repro.simulator.trace (structured forwarding traces)."""
+
+import pytest
+
+from repro.failures import FailureScenario, LocalView
+from repro.simulator import ForwardingEngine, ForwardingTrace, Packet, RecoveryAccounting
+from repro.topology import Link
+
+
+def traced_engine(topo, failed_nodes=(), failed_links=()):
+    scenario = FailureScenario(topo, failed_nodes, failed_links)
+    trace = ForwardingTrace()
+    engine = ForwardingEngine(topo, LocalView(scenario), trace=trace)
+    return engine, trace
+
+
+class TestTracing:
+    def test_records_each_hop(self, ring8):
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=3)
+        acc = RecoveryAccounting()
+        engine.follow_source_route(packet, [0, 1, 2, 3], acc)
+        assert len(trace) == 3
+        assert [e.sender for e in trace.events] == [0, 1, 2]
+        assert [e.receiver for e in trace.events] == [1, 2, 3]
+
+    def test_times_match_accounting(self, ring8):
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=2)
+        acc = RecoveryAccounting()
+        engine.follow_source_route(packet, [0, 1, 2], acc)
+        assert [e.time for e in trace.events] == [t for t, _ in acc.header_timeline]
+
+    def test_no_trace_by_default(self, ring8):
+        scenario = FailureScenario(ring8)
+        engine = ForwardingEngine(ring8, LocalView(scenario))
+        assert engine.trace is None
+
+    def test_packet_ids_distinguish_flows(self, ring8):
+        engine, trace = traced_engine(ring8)
+        for _ in range(2):
+            packet = Packet(source=0, destination=2)
+            engine.follow_source_route(packet, [0, 1, 2], RecoveryAccounting())
+        ids = {e.packet_id for e in trace.events}
+        assert len(ids) == 2
+        first = trace.hops_of_packet(min(ids))
+        assert len(first) == 2
+
+
+class TestTraceQueries:
+    def test_rtr_walk_trace(self, paper_topo, paper_scenario):
+        from repro.core import run_phase1
+
+        view = LocalView(paper_scenario)
+        trace = ForwardingTrace()
+        engine = ForwardingEngine(paper_topo, view, trace=trace)
+        phase1 = run_phase1(paper_topo, view, 6, 11, engine)
+        assert len(trace) == phase1.hops
+        # The Table I walk crosses v11-v12 in both directions.
+        assert Link.of(11, 12) in trace.double_traversed_links()
+
+    def test_peak_header_is_late_in_walk(self, paper_topo, paper_scenario):
+        from repro.core import run_phase1
+
+        view = LocalView(paper_scenario)
+        trace = ForwardingTrace()
+        engine = ForwardingEngine(paper_topo, view, trace=trace)
+        run_phase1(paper_topo, view, 6, 11, engine)
+        peak = trace.peak_header()
+        assert peak is not None
+        assert peak.header_bytes == max(e.header_bytes for e in trace.events)
+
+    def test_duration_and_totals(self, ring8):
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=2)
+        engine.follow_source_route(packet, [0, 1, 2], RecoveryAccounting())
+        assert trace.duration() == pytest.approx(2 * 1.8e-3)
+        assert trace.total_recovery_bytes() == 0  # default header
+
+    def test_to_rows(self, ring8):
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=1)
+        engine.follow_source_route(packet, [0, 1], RecoveryAccounting())
+        rows = trace.to_rows()
+        assert rows[0]["from"] == 0 and rows[0]["to"] == 1
+        assert rows[0]["link"] == "e0,1"
+
+    def test_empty_trace(self):
+        trace = ForwardingTrace()
+        assert trace.peak_header() is None
+        assert trace.duration() == 0.0
+        assert trace.double_traversed_links() == []

@@ -1,0 +1,81 @@
+"""Tests for the paper's worked-example topology fixture."""
+
+from repro.failures import FailureScenario
+from repro.topology import Link
+from repro.topology.examples import (
+    PAPER_FAILURE_REGION,
+    PAPER_LINKS,
+    paper_figure_topology,
+    paper_planar_topology,
+    planarize,
+)
+
+
+class TestPaperTopologyStructure:
+    def test_node_count(self, paper_topo):
+        assert paper_topo.node_count == 18
+
+    def test_link_count(self, paper_topo):
+        assert paper_topo.link_count == len(PAPER_LINKS)
+
+    def test_connected(self, paper_topo):
+        assert paper_topo.is_connected()
+
+    def test_default_path_of_the_example(self, paper_topo):
+        # §II-B: the routing path from v7 to v17 is v7 v6 v11 v15 v17.
+        from repro.routing import RoutingTable
+
+        path = RoutingTable(paper_topo).path(7, 17)
+        assert path is not None
+        assert list(path.nodes) == [7, 6, 11, 15, 17]
+
+    def test_fresh_instance_each_call(self):
+        t1 = paper_figure_topology()
+        t2 = paper_figure_topology()
+        t1.remove_link(1, 2)
+        assert t2.has_link(1, 2)
+
+
+class TestPaperFailure:
+    def test_only_v10_fails(self, paper_topo):
+        scenario = FailureScenario.from_region(paper_topo, PAPER_FAILURE_REGION)
+        assert scenario.failed_nodes == frozenset({10})
+
+    def test_failed_links_match_fig6(self, paper_topo):
+        scenario = FailureScenario.from_region(paper_topo, PAPER_FAILURE_REGION)
+        expected = {
+            Link.of(5, 10),
+            Link.of(9, 10),
+            Link.of(10, 11),
+            Link.of(10, 14),
+            Link.of(4, 11),
+            Link.of(6, 11),
+        }
+        assert scenario.failed_links == frozenset(expected)
+
+    def test_v11_sees_three_unreachable_neighbors(self, paper_topo):
+        # §I: v11 finds v4, v6 and v10 unreachable but cannot tell which
+        # of them actually failed.
+        from repro.failures import LocalView
+
+        scenario = FailureScenario.from_region(paper_topo, PAPER_FAILURE_REGION)
+        view = LocalView(scenario)
+        assert sorted(view.unreachable_neighbors(11)) == [4, 6, 10]
+
+
+class TestPlanarize:
+    def test_planar_variant_has_no_crossings(self):
+        assert paper_planar_topology().is_planar_embedding()
+
+    def test_planarize_keeps_nodes(self, paper_topo):
+        planar = planarize(paper_topo)
+        assert planar.node_count == paper_topo.node_count
+
+    def test_planarize_is_idempotent_on_planar(self, grid5):
+        assert planarize(grid5).link_count == grid5.link_count
+
+    def test_planarize_illustrates_paper_warning(self, paper_topo):
+        # §III-C: planarizing in advance can wrongly partition the network
+        # under failures — the planar variant loses real links.
+        planar = planarize(paper_topo)
+        assert planar.link_count < paper_topo.link_count

@@ -1,0 +1,74 @@
+"""Tests for repro.topology.io (serialization)."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geometry import Point
+from repro.topology import (
+    Topology,
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+@pytest.fixture
+def asymmetric_topo() -> Topology:
+    topo = Topology("asym")
+    topo.add_node(0, Point(0.5, 1.5))
+    topo.add_node(1, Point(10, 20))
+    topo.add_node(2, Point(30, 5))
+    topo.add_link(0, 1, cost=2.0, reverse_cost=3.0)
+    topo.add_link(1, 2)
+    return topo
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, asymmetric_topo):
+        rebuilt = topology_from_dict(topology_to_dict(asymmetric_topo))
+        assert rebuilt.name == "asym"
+        assert rebuilt.node_count == 3
+        assert rebuilt.cost(0, 1) == 2.0
+        assert rebuilt.cost(1, 0) == 3.0
+        assert rebuilt.position(0) == Point(0.5, 1.5)
+
+    def test_file_round_trip(self, asymmetric_topo, tmp_path):
+        path = tmp_path / "topo.json"
+        save_topology(asymmetric_topo, path)
+        rebuilt = load_topology(path)
+        assert sorted(rebuilt.links()) == sorted(asymmetric_topo.links())
+
+    def test_link_index_order_preserved(self, asymmetric_topo, tmp_path):
+        # Header link ids depend on insertion order; IO must keep it.
+        path = tmp_path / "topo.json"
+        save_topology(asymmetric_topo, path)
+        rebuilt = load_topology(path)
+        for link in asymmetric_topo.links():
+            assert rebuilt.link_index(link) == asymmetric_topo.link_index(link)
+
+    def test_catalog_round_trip(self, tmp_path):
+        from repro.topology import isp_catalog
+
+        topo = isp_catalog.build("AS4323", seed=3)
+        path = tmp_path / "as4323.json"
+        save_topology(topo, path)
+        rebuilt = load_topology(path)
+        assert rebuilt.node_count == topo.node_count
+        assert rebuilt.link_count == topo.link_count
+        assert rebuilt.is_connected()
+
+
+class TestFormat:
+    def test_json_is_valid(self, asymmetric_topo, tmp_path):
+        path = tmp_path / "t.json"
+        save_topology(asymmetric_topo, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == 1
+        assert len(data["nodes"]) == 3
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(TopologyError):
+            topology_from_dict({"format": 99, "nodes": [], "links": []})
