@@ -1,0 +1,99 @@
+"""Chaos resilience — hardened RTR under injected recovery-packet loss.
+
+No paper figure corresponds to this benchmark: the paper's evaluation
+world is ideal (§II-A).  This sweep measures how the hardened pipeline
+degrades as that assumption is relaxed on the Sprintlink-like topology
+(AS1239): per-hop recovery-packet loss from 0 to 20 % plus one mid-walk
+secondary link failure, with the retry/re-invocation/fallback ladder
+enabled.  Emitted curves (per loss rate):
+
+* delivery ratio (including reconvergence-fallback deliveries) and RTR's
+  own delivery ratio (protocol completions only);
+* fallback and error counts — the acceptance bar is that every case ends
+  in a CaseRecord, never an aborted sweep;
+* mean retries per case and mean recovery clock, showing the latency
+  price of each rung of the ladder.
+"""
+
+from __future__ import annotations
+
+import random
+
+from _bench_utils import emit
+
+from repro.chaos import FaultPlan, SecondaryFailure
+from repro.eval import EvaluationRunner, generate_cases, summarize_resilience
+from repro.eval.report import format_table
+from repro.topology import isp_catalog
+
+TOPOLOGY = "AS1239"
+LOSS_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+PLAN_SEED = 42
+N_RECOVERABLE = 60
+N_IRRECOVERABLE = 30
+
+
+def chaos_resilience_sweep():
+    topo = isp_catalog.build(TOPOLOGY, seed=0)
+    case_set = generate_cases(
+        topo, random.Random(9), N_RECOVERABLE, N_IRRECOVERABLE
+    )
+    rows = []
+    for rate in LOSS_RATES:
+        plan = FaultPlan(
+            seed=PLAN_SEED,
+            packet_loss_rate=rate,
+            secondary_failures=(SecondaryFailure(at_hop=5),),
+        )
+        runner = EvaluationRunner(
+            topo, routing=case_set.routing, approaches=("RTR",), fault_plan=plan
+        )
+        records = runner.run(case_set)["RTR"]
+        assert len(records) == len(case_set.cases)
+        summary = summarize_resilience(records)
+        clocks = [r.result.accounting.clock for r in records]
+        rows.append(
+            {
+                "loss_rate": rate,
+                "cases": summary.cases,
+                "delivery_ratio_pct": round(100.0 * summary.delivery_ratio, 1),
+                "rtr_delivery_ratio_pct": round(
+                    100.0 * summary.rtr_delivery_ratio, 1
+                ),
+                "fallbacks": summary.fallbacks,
+                "errors": summary.errors,
+                "mean_retries": round(summary.mean_retries, 2),
+                "max_retries": summary.max_retries,
+                "mean_clock_s": round(sum(clocks) / len(clocks), 4),
+            }
+        )
+    return rows
+
+
+def check_and_emit(rows) -> None:
+    emit("chaos_resilience", format_table(rows))
+    clean = rows[0]
+    # The error-isolated sweep never loses a case to a crash.
+    assert all(row["errors"] == 0 for row in rows)
+    # With the fallback ladder on, total delivery stays at the clean level:
+    # whatever RTR cannot complete, waiting out reconvergence finishes.
+    assert all(
+        row["delivery_ratio_pct"] >= clean["delivery_ratio_pct"] - 1.0
+        for row in rows
+    )
+    # RTR's own completions shrink as loss grows, and the ladder works
+    # visibly harder (monotone non-decreasing retries).
+    assert rows[-1]["rtr_delivery_ratio_pct"] <= clean["rtr_delivery_ratio_pct"]
+    retries = [row["mean_retries"] for row in rows]
+    assert retries == sorted(retries)
+    # The fallback rungs cost wall-clock: heavy loss is slower than none.
+    assert rows[-1]["mean_clock_s"] >= clean["mean_clock_s"]
+
+
+def test_chaos_resilience(run_once):
+    check_and_emit(run_once(chaos_resilience_sweep))
+
+
+if __name__ == "__main__":
+    # CI smoke entry point: run the sweep without pytest-benchmark.
+    check_and_emit(chaos_resilience_sweep())

@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from .errors import (
+    ChaosError,
     ConfigurationError,
     EvaluationError,
     ForwardingLoopError,
@@ -74,12 +75,14 @@ from .simulator import (
     RecoveryHeader,
     RecoveryResult,
 )
+from .chaos import DegradedLocalView, FaultPlan, SecondaryFailure
 from .core import MultiAreaRTR, RTR, RTRConfig
 from .baselines import FCP, MRC, Oracle
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosError",
     "ConfigurationError",
     "EvaluationError",
     "ForwardingLoopError",
@@ -121,6 +124,9 @@ __all__ = [
     "RecoveryAccounting",
     "RecoveryHeader",
     "RecoveryResult",
+    "DegradedLocalView",
+    "FaultPlan",
+    "SecondaryFailure",
     "RTR",
     "MultiAreaRTR",
     "RTRConfig",

@@ -55,6 +55,14 @@ class Phase1Result:
     #: the contents of the two fields at each hop, exactly as the paper's
     #: Table I tabulates them.
     field_trace: List[tuple] = field(default_factory=list)
+    #: Whether the walk ran to completion.  False only in degraded mode:
+    #: the packet was lost in flight or the walk was truncated at its hop
+    #: budget, so the collected set may be arbitrarily incomplete.
+    complete: bool = True
+    #: Why an incomplete walk ended (``None`` when complete).
+    incomplete_reason: Optional[str] = None
+    #: Packet retransmissions spent before this result was obtained.
+    retries: int = 0
 
     def all_known_failed_links(self) -> List[Link]:
         """Collected plus locally known failed links — the set ``E1``."""
@@ -94,6 +102,7 @@ def run_phase1(
     accounting: Optional[RecoveryAccounting] = None,
     use_constraints: bool = True,
     clockwise: bool = False,
+    strict: bool = True,
 ) -> Phase1Result:
     """Run the failure-information collection walk from ``initiator``.
 
@@ -101,6 +110,9 @@ def run_phase1(
     invoked RTR — it anchors the initiator's first sweeping line.
     ``use_constraints=False`` disables the §III-C cross-link constraints
     (the DESIGN.md ablation that reproduces the Fig. 4/5 disorders).
+    ``strict=False`` (degraded mode) turns a lost packet or an exhausted
+    hop budget into an ``complete=False`` result instead of an exception,
+    so the caller can retry with backoff or fall back.
     """
     if view.is_neighbor_reachable(initiator, trigger_neighbor):
         raise SimulationError(
@@ -174,15 +186,24 @@ def run_phase1(
         snapshot(current)
         return next_node
 
-    walk = engine.walk(packet, decide, accounting)
+    outcome = engine.walk_outcome(
+        packet, decide, accounting, on_overrun="raise" if strict else "truncate"
+    )
+    if strict and outcome.lost:
+        raise SimulationError(
+            f"phase-1 packet of {initiator} lost at {outcome.drop_node}: "
+            f"{outcome.drop_reason}"
+        )
     return Phase1Result(
         initiator=initiator,
-        walk=walk,
+        walk=outcome.visited,
         collected_failed_links=list(header.failed_links),
         cross_links=list(header.cross_links),
         local_failed_links=local_failed,
-        hops=len(walk) - 1,
+        hops=len(outcome.visited) - 1,
         duration=accounting.clock,
         header_timeline=list(accounting.header_timeline),
         field_trace=field_trace,
+        complete=outcome.completed,
+        incomplete_reason=outcome.drop_reason,
     )

@@ -51,6 +51,9 @@ class Phase2Result:
     hops_traveled: int
     #: Recovery header bytes carried by the source-routed packet.
     route_header_bytes: int
+    #: Whether the drop was an injected packet loss (retransmittable)
+    #: rather than the route containing a failure phase 1 missed.
+    lost: bool = False
 
 
 class Phase2Engine:
@@ -104,6 +107,21 @@ class Phase2Engine:
             return None
         return tree.path_from(destination)
 
+    def learn_failed_link(self, link: Link) -> bool:
+        """Add a failure discovered *after* phase 1 to ``E1`` (§III-D ext.).
+
+        When a phase-2 packet is discarded at a node whose next route hop
+        turned out to be failed, the initiator can learn exactly that link
+        from the drop notification and re-invoke the recomputation.
+        Returns False (and changes nothing) when the link was already
+        known — re-invoking then could never produce a different route.
+        """
+        if link in self.known_failed:
+            return False
+        self.known_failed.add(link)
+        self._tree = None
+        return True
+
 
 def run_phase2(
     topo: Topology,
@@ -139,13 +157,14 @@ def run_phase2(
         source=phase2.initiator, destination=destination, header=header
     )
     before = accounting.hops_traveled
-    delivered, drop_node = engine.follow_source_route(
+    outcome = engine.follow_source_route_outcome(
         packet, list(route.nodes), accounting
     )
     return Phase2Result(
         route=route,
-        delivered=delivered,
-        drop_node=drop_node,
+        delivered=outcome.delivered,
+        drop_node=outcome.drop_node,
         hops_traveled=accounting.hops_traveled - before,
         route_header_bytes=header.recovery_bytes(),
+        lost=outcome.lost,
     )

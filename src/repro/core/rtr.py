@@ -12,6 +12,27 @@
 
 Accounting follows §IV: each test case is charged its phase-1 walk, exactly
 one shortest-path calculation, and the phase-2 delivery attempt.
+
+Degraded mode
+-------------
+Given a :class:`~repro.chaos.FaultPlan`, the instance swaps in a
+:class:`~repro.chaos.DegradedLocalView` and a
+:class:`~repro.chaos.ChaosForwardingEngine` and climbs a graceful
+fallback ladder instead of aborting:
+
+1. a lost or truncated phase-1 walk is retried with exponential backoff
+   (``max_phase1_retries``);
+2. a phase-2 packet lost in flight is resent (``max_phase2_resends``);
+3. a phase-2 packet discarded at a failure phase 1 *missed* teaches the
+   initiator that link, and recomputation is re-invoked with the grown
+   ``E1`` (``max_phase2_reinvocations`` — the §III-D extension);
+4. when the ladder is exhausted, traffic falls back to waiting out
+   OSPF/IGP reconvergence (``fallback_to_reconvergence``) — delivery then
+   succeeds exactly when the destination survives in ``G - E2``, at
+   convergence-timescale cost.
+
+With no fault plan every knob is inert and behaviour is bit-identical to
+the paper's idealized design.
 """
 
 from __future__ import annotations
@@ -21,7 +42,7 @@ from typing import Dict, Optional
 
 from ..errors import SimulationError
 from ..failures import FailureScenario, LocalView
-from ..routing import RoutingTable
+from ..routing import LinkStateProtocol, RoutingTable
 from ..simulator import (
     DEFAULT_DELAY_MODEL,
     DEFAULT_PAYLOAD_BYTES,
@@ -30,9 +51,9 @@ from ..simulator import (
     RecoveryAccounting,
     RecoveryResult,
 )
-from ..topology import Topology
+from ..topology import Link, Topology
 from .phase1 import Phase1Result, run_phase1
-from .phase2 import Phase2Engine, run_phase2
+from .phase2 import Phase2Engine, Phase2Result, run_phase2
 
 APPROACH_NAME = "RTR"
 
@@ -54,12 +75,47 @@ class RTRConfig:
     collector: str = "sweep"
     #: Per-hop delay model (default: the paper's fixed 1.8 ms).
     delay_model: DelayModel = None  # type: ignore[assignment]
+    #: Retransmissions of a lost/truncated phase-1 walk (degraded mode
+    #: only — without injected faults a walk cannot be lost).
+    max_phase1_retries: int = 3
+    #: Resends of a phase-2 packet lost in flight (degraded mode only).
+    max_phase2_resends: int = 2
+    #: §III-D re-invocations: recomputations after learning a failed link
+    #: from a phase-2 drop.  0 preserves the paper's discard-on-miss
+    #: behaviour (and the §IV accounting of exactly one SP calculation).
+    max_phase2_reinvocations: int = 0
+    #: Base of the exponential retry backoff, in seconds of sim clock.
+    retry_backoff_s: float = 0.01
+    #: When the whole ladder fails, model traffic waiting out IGP
+    #: reconvergence instead of reporting a plain drop.
+    fallback_to_reconvergence: bool = False
 
     def __post_init__(self) -> None:
         if self.delay_model is None:
             self.delay_model = DEFAULT_DELAY_MODEL
         if self.collector not in ("sweep", "exhaustive"):
             raise ValueError(f"unknown collector {self.collector!r}")
+        for name in (
+            "max_phase1_retries",
+            "max_phase2_resends",
+            "max_phase2_reinvocations",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+
+    @classmethod
+    def hardened(cls, **overrides) -> "RTRConfig":
+        """The degraded-mode profile: full fallback ladder enabled."""
+        defaults = dict(
+            max_phase1_retries=3,
+            max_phase2_resends=2,
+            max_phase2_reinvocations=2,
+            fallback_to_reconvergence=True,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
 
 
 class RTR:
@@ -76,17 +132,41 @@ class RTR:
         scenario: FailureScenario,
         routing: Optional[RoutingTable] = None,
         config: Optional[RTRConfig] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         self.topo = topo
         self.scenario = scenario
-        self.view = LocalView(scenario)
         #: The consistent pre-failure routing view (§II-A); used to find the
         #: default next hop that triggers recovery.
         self.routing = routing if routing is not None else RoutingTable(topo)
-        self.config = config or RTRConfig()
-        self.engine = ForwardingEngine(topo, self.view, self.config.delay_model)
+        self.chaos = None
+        if fault_plan is not None and not fault_plan.is_null():
+            from ..chaos import (
+                ChaosForwardingEngine,
+                ChaosRuntime,
+                DegradedLocalView,
+            )
+
+            self.config = config or RTRConfig.hardened()
+            self.chaos = ChaosRuntime(fault_plan, scenario)
+            self.view: LocalView = DegradedLocalView(
+                scenario, fault_plan, self.chaos
+            )
+            self.engine: ForwardingEngine = ChaosForwardingEngine(
+                topo, self.view, self.chaos, self.config.delay_model
+            )
+            #: Ground truth for telling "really reachable" apart from
+            #: "failure not yet detected" (the simulator may consult it;
+            #: the protocol never does).
+            self._truth_view = LocalView(scenario)
+        else:
+            self.config = config or RTRConfig()
+            self.view = LocalView(scenario)
+            self.engine = ForwardingEngine(topo, self.view, self.config.delay_model)
+            self._truth_view = self.view
         self._phase1_cache: Dict[int, Phase1Result] = {}
         self._phase2_cache: Dict[int, Phase2Engine] = {}
+        self._reconverge_at: Optional[float] = None
 
     # ------------------------------------------------------------------
 
@@ -101,16 +181,47 @@ class RTR:
                     self.topo, self.view, initiator, trigger_neighbor, self.engine
                 )
             else:
-                result = run_phase1(
-                    self.topo,
-                    self.view,
-                    initiator,
-                    trigger_neighbor,
-                    self.engine,
-                    use_constraints=self.config.use_constraints,
-                    clockwise=self.config.clockwise,
-                )
+                result = self._run_phase1_with_retries(initiator, trigger_neighbor)
             self._phase1_cache[initiator] = result
+        return result
+
+    def _run_phase1_with_retries(
+        self, initiator: int, trigger_neighbor: int
+    ) -> Phase1Result:
+        """Phase 1, retried with exponential backoff under injected loss.
+
+        All attempts share one accounting so the walk's duration, hop
+        count, and header timeline are cumulative over retransmissions —
+        a retried walk genuinely costs the network that much.
+        """
+        strict = self.chaos is None
+        accounting = RecoveryAccounting()
+        attempts = 1 if strict else self.config.max_phase1_retries + 1
+        result: Optional[Phase1Result] = None
+        for attempt in range(attempts):
+            if attempt:
+                accounting.count_retry()
+                accounting.advance_clock(
+                    self.config.retry_backoff_s * (2 ** (attempt - 1))
+                )
+            result = run_phase1(
+                self.topo,
+                self.view,
+                initiator,
+                trigger_neighbor,
+                self.engine,
+                accounting=accounting,
+                use_constraints=self.config.use_constraints,
+                clockwise=self.config.clockwise,
+                strict=strict,
+            )
+            if result.complete:
+                break
+        assert result is not None
+        result.hops = accounting.hops_traveled
+        result.duration = accounting.clock
+        result.header_timeline = list(accounting.header_timeline)
+        result.retries = accounting.retransmissions
         return result
 
     def phase2_for(self, initiator: int, trigger_neighbor: int) -> Phase2Engine:
@@ -150,6 +261,20 @@ class RTR:
                     f"{initiator} has no pre-failure route toward {destination}"
                 )
         if self.view.is_neighbor_reachable(initiator, trigger_neighbor):
+            if self.chaos is not None and not self._truth_view.is_neighbor_reachable(
+                initiator, trigger_neighbor
+            ):
+                # The adjacency really failed but this router's detection
+                # missed it (or hasn't fired yet): it keeps black-holing
+                # traffic into the dead next hop until IGP convergence
+                # repairs its table.
+                return self._fallback_result(
+                    initiator,
+                    destination,
+                    RecoveryAccounting(),
+                    phase1_duration=0.0,
+                    phase1_hops=0,
+                )
             raise SimulationError(
                 f"default next hop {trigger_neighbor} of {initiator} is still "
                 f"reachable; RTR is only invoked on failure (§II-B)"
@@ -165,11 +290,35 @@ class RTR:
         accounting.clock = phase1.duration
         accounting.hops_traveled = phase1.hops
         accounting.header_timeline = list(phase1.header_timeline)
+        accounting.retransmissions = phase1.retries
         accounting.count_sp(1)
 
-        outcome = run_phase2(
-            self.topo, self.view, self.engine, phase2, destination, accounting
-        )
+        if not phase1.complete:
+            # Every retransmission died; the initiator has no failure
+            # information and refuses to guess a route (§II-C early
+            # discard), or hands off to reconvergence when allowed.
+            if self.config.fallback_to_reconvergence:
+                return self._fallback_result(
+                    initiator,
+                    destination,
+                    accounting,
+                    phase1_duration=phase1.duration,
+                    phase1_hops=phase1.hops,
+                )
+            return RecoveryResult(
+                approach=APPROACH_NAME,
+                delivered=False,
+                path=None,
+                accounting=accounting,
+                phase1_duration=phase1.duration,
+                phase1_hops=phase1.hops,
+                drop_hops=0,
+                drop_packet_bytes=DEFAULT_PAYLOAD_BYTES
+                + _phase1_final_header_bytes(phase1),
+                retries=accounting.retransmissions,
+            )
+
+        outcome = self._phase2_ladder(phase2, destination, accounting)
 
         # Wasted transmission (§IV-D): ``h`` is the hops from the recovery
         # initiator to the node discarding the packet.  The phase-1 walk is
@@ -189,6 +338,26 @@ class RTR:
             drop_hops = outcome.hops_traveled
             drop_bytes = DEFAULT_PAYLOAD_BYTES + outcome.route_header_bytes
 
+        # Fall back only when RTR's own machinery failed (loss the resends
+        # could not beat, or a missed failure the re-invocations could not
+        # learn around).  ``route is None`` is the paper's early discard —
+        # the destination is unreachable in ``G - E1`` and hence in
+        # ``G - E2``, so waiting out reconvergence could not deliver either.
+        if (
+            not outcome.delivered
+            and outcome.route is not None
+            and self.config.fallback_to_reconvergence
+        ):
+            return self._fallback_result(
+                initiator,
+                destination,
+                accounting,
+                phase1_duration=phase1.duration,
+                phase1_hops=phase1.hops,
+                drop_hops=drop_hops,
+                drop_bytes=drop_bytes,
+            )
+
         return RecoveryResult(
             approach=APPROACH_NAME,
             delivered=outcome.delivered,
@@ -198,7 +367,98 @@ class RTR:
             phase1_hops=phase1.hops,
             drop_hops=drop_hops,
             drop_packet_bytes=drop_bytes,
+            retries=accounting.retransmissions,
         )
+
+    def _phase2_ladder(
+        self,
+        phase2: Phase2Engine,
+        destination: int,
+        accounting: RecoveryAccounting,
+    ) -> Phase2Result:
+        """Phase-2 delivery with bounded resends and re-invocations.
+
+        A *lost* packet (injected loss) is resent along the same route; a
+        packet discarded at a failure phase 1 missed teaches the initiator
+        that link and re-invokes the recomputation with the grown ``E1``
+        (each re-invocation is one more on-demand SP calculation).
+        """
+        resends = 0
+        reinvocations = 0
+        outcome = run_phase2(
+            self.topo, self.view, self.engine, phase2, destination, accounting
+        )
+        while not outcome.delivered and outcome.route is not None:
+            if outcome.lost:
+                if resends >= self.config.max_phase2_resends:
+                    break
+                resends += 1
+                accounting.count_retry()
+                accounting.advance_clock(
+                    self.config.retry_backoff_s * (2 ** (resends - 1))
+                )
+            else:
+                learned = _missed_link(outcome)
+                if (
+                    reinvocations >= self.config.max_phase2_reinvocations
+                    or learned is None
+                    or not phase2.learn_failed_link(learned)
+                ):
+                    break
+                reinvocations += 1
+                accounting.count_retry()
+                accounting.count_sp(1)
+            outcome = run_phase2(
+                self.topo, self.view, self.engine, phase2, destination, accounting
+            )
+        return outcome
+
+    def _fallback_result(
+        self,
+        initiator: int,
+        destination: int,
+        accounting: RecoveryAccounting,
+        phase1_duration: float,
+        phase1_hops: int,
+        drop_hops: int = 0,
+        drop_bytes: int = 0,
+    ) -> RecoveryResult:
+        """The bottom rung: traffic waits out OSPF/IGP reconvergence.
+
+        After convergence the routing tables are correct again, so
+        delivery succeeds exactly when the destination is reachable in
+        ``G - E2`` — along the true post-failure shortest path, but only
+        after convergence-timescale delay.
+        """
+        from ..baselines import Oracle
+
+        wait = self._reconvergence_time()
+        if wait > accounting.clock:
+            accounting.advance_clock(wait - accounting.clock)
+        path = Oracle(self.topo, self.scenario).recovery_path(initiator, destination)
+        delivered = path is not None
+        return RecoveryResult(
+            approach=APPROACH_NAME,
+            delivered=delivered,
+            path=path,
+            accounting=accounting,
+            phase1_duration=phase1_duration,
+            phase1_hops=phase1_hops,
+            drop_hops=0 if delivered else drop_hops,
+            drop_packet_bytes=0 if delivered else drop_bytes,
+            fallback=True,
+            retries=accounting.retransmissions,
+        )
+
+    def _reconvergence_time(self) -> float:
+        """When the IGP has fully reconverged on this scenario (cached)."""
+        if self._reconverge_at is None:
+            protocol = LinkStateProtocol(self.topo)
+            report = protocol.apply_failure(
+                set(self.scenario.failed_nodes), set(self.scenario.failed_links)
+            )
+            self._reconverge_at = report.network_converged_at
+        return self._reconverge_at
 
     def recover_flow(self, source: int, destination: int) -> RecoveryResult:
         """Recover the failed default routing path ``source -> destination``.
@@ -229,6 +489,20 @@ class RTR:
         raise SimulationError(
             f"default path {source} -> {destination} did not fail"
         )
+
+
+def _missed_link(outcome: Phase2Result) -> Optional[Link]:
+    """The failed link a phase-2 drop reveals (drop node -> next route hop)."""
+    if outcome.route is None or outcome.drop_node is None:
+        return None
+    nodes = list(outcome.route.nodes)
+    try:
+        index = nodes.index(outcome.drop_node)
+    except ValueError:
+        return None
+    if index + 1 >= len(nodes):
+        return None
+    return Link.of(nodes[index], nodes[index + 1])
 
 
 def _phase1_final_header_bytes(phase1: Phase1Result) -> int:

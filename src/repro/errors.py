@@ -67,5 +67,9 @@ class ConfigurationError(ReproError):
     """Backup-configuration generation (MRC) could not satisfy its invariants."""
 
 
+class ChaosError(ReproError):
+    """A fault-injection plan is malformed or references missing elements."""
+
+
 class EvaluationError(ReproError):
     """An experiment driver was invoked with unusable parameters."""

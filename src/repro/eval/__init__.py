@@ -12,12 +12,14 @@ from .metrics import (
     CaseRecord,
     IrrecoverableSummary,
     RecoverableSummary,
+    ResilienceSummary,
     phase1_duration_values,
     savings_ratio,
     sp_computation_values,
     stretch_values,
     summarize_irrecoverable,
     summarize_recoverable,
+    summarize_resilience,
     wasted_transmission_values,
 )
 from .runner import ALL_APPROACHES, EvaluationRunner
@@ -43,12 +45,14 @@ __all__ = [
     "CaseRecord",
     "IrrecoverableSummary",
     "RecoverableSummary",
+    "ResilienceSummary",
     "phase1_duration_values",
     "savings_ratio",
     "sp_computation_values",
     "stretch_values",
     "summarize_irrecoverable",
     "summarize_recoverable",
+    "summarize_resilience",
     "wasted_transmission_values",
     "ALL_APPROACHES",
     "EvaluationRunner",

@@ -40,6 +40,11 @@ class CaseRecord:
         """Whether the packet reached the destination."""
         return self.result.delivered
 
+    @property
+    def status(self) -> str:
+        """``delivered`` / ``dropped`` / ``fallback`` / ``error``."""
+        return self.result.status
+
     def stretch(self) -> Optional[float]:
         """Recovery-path cost over optimal cost (delivered cases only)."""
         if not self.delivered or self.case.optimal_cost is None:
@@ -142,6 +147,75 @@ def summarize_irrecoverable(records: Sequence[CaseRecord]) -> IrrecoverableSumma
         avg_wasted_transmission=sum(wasted) / len(wasted),
         max_wasted_transmission=max(wasted),
         false_deliveries=sum(1 for r in records if r.delivered),
+    )
+
+
+@dataclass
+class ResilienceSummary:
+    """Degraded-mode health of one approach over one sweep.
+
+    ``delivery_ratio`` counts every delivered packet, including those
+    delivered by the reconvergence fallback — that is the operator's view
+    ("did traffic get through?").  ``rtr_delivery_ratio`` counts only
+    deliveries RTR itself completed, isolating the protocol's own
+    resilience from the safety net underneath it.
+    """
+
+    approach: str
+    cases: int
+    delivered: int
+    dropped: int
+    fallbacks: int
+    fallback_deliveries: int
+    errors: int
+    delivery_ratio: float
+    rtr_delivery_ratio: float
+    mean_retries: float
+    max_retries: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row form for reports."""
+        return {
+            "approach": self.approach,
+            "cases": self.cases,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "fallbacks": self.fallbacks,
+            "fallback_deliveries": self.fallback_deliveries,
+            "errors": self.errors,
+            "delivery_ratio_pct": round(100.0 * self.delivery_ratio, 1),
+            "rtr_delivery_ratio_pct": round(100.0 * self.rtr_delivery_ratio, 1),
+            "mean_retries": round(self.mean_retries, 2),
+            "max_retries": self.max_retries,
+        }
+
+
+def summarize_resilience(records: Sequence[CaseRecord]) -> ResilienceSummary:
+    """Aggregate a (possibly chaotic) sweep into a resilience row."""
+    if not records:
+        raise ValueError("no records to summarize")
+    approach = records[0].approach
+    n = len(records)
+    by_status: Dict[str, int] = {}
+    for r in records:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    fallback_deliveries = sum(
+        1 for r in records if r.status == "fallback" and r.delivered
+    )
+    all_delivered = sum(1 for r in records if r.delivered)
+    retries = [r.result.retries for r in records]
+    return ResilienceSummary(
+        approach=approach,
+        cases=n,
+        delivered=by_status.get("delivered", 0),
+        dropped=by_status.get("dropped", 0),
+        fallbacks=by_status.get("fallback", 0),
+        fallback_deliveries=fallback_deliveries,
+        errors=by_status.get("error", 0),
+        delivery_ratio=all_delivered / n,
+        rtr_delivery_ratio=by_status.get("delivered", 0) / n,
+        mean_retries=sum(retries) / n,
+        max_retries=max(retries),
     )
 
 

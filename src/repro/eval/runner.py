@@ -4,6 +4,13 @@ One :class:`EvaluationRunner` owns the per-topology shared state (routing
 table, MRC configurations) and instantiates per-scenario protocol state
 exactly once per failure area, the way a real deployment would: routers
 keep one set of tables per convergence window, not per flow.
+
+Robustness: a sweep is thousands of cases, and in degraded-mode
+experiments individual cases *will* hit pathological corners.  With
+``isolate_errors`` (the default) a protocol crash on one case is caught
+and recorded as an ``error`` :class:`~repro.eval.metrics.CaseRecord`
+instead of aborting the whole sweep; pass a
+:class:`~repro.chaos.FaultPlan` to run RTR under injected faults.
 """
 
 from __future__ import annotations
@@ -11,9 +18,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..baselines import FCP, MRC, BackupConfiguration, generate_configurations
+from ..chaos import FaultPlan
 from ..core import RTR, RTRConfig
 from ..failures import FailureScenario
 from ..routing import RoutingTable
+from ..simulator import RecoveryAccounting, RecoveryResult
 from ..topology import Topology
 from .cases import CaseSet, TestCase
 from .metrics import CaseRecord
@@ -32,6 +41,8 @@ class EvaluationRunner:
         approaches: Sequence[str] = ALL_APPROACHES,
         rtr_config: Optional[RTRConfig] = None,
         mrc_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        isolate_errors: bool = True,
     ) -> None:
         unknown = set(approaches) - set(ALL_APPROACHES)
         if unknown:
@@ -40,6 +51,12 @@ class EvaluationRunner:
         self.routing = routing if routing is not None else RoutingTable(topo)
         self.approaches = tuple(approaches)
         self.rtr_config = rtr_config
+        #: Fault injection applied to RTR runs (baselines stay ideal — the
+        #: comparison of interest is degraded RTR vs their clean designs).
+        self.fault_plan = fault_plan
+        #: Catch per-case protocol crashes and record them as ``error``
+        #: results instead of aborting the sweep.
+        self.isolate_errors = isolate_errors
         self._mrc_configs: Optional[List[BackupConfiguration]] = None
         self._mrc_seed = mrc_seed
 
@@ -55,7 +72,11 @@ class EvaluationRunner:
         for name in self.approaches:
             if name == "RTR":
                 protocols[name] = RTR(
-                    self.topo, scenario, routing=self.routing, config=self.rtr_config
+                    self.topo,
+                    scenario,
+                    routing=self.routing,
+                    config=self.rtr_config,
+                    fault_plan=self.fault_plan,
                 )
             elif name == "FCP":
                 protocols[name] = FCP(self.topo, scenario, routing=self.routing)
@@ -79,11 +100,30 @@ class EvaluationRunner:
             protocols = self._protocols(scenario)
             for case in cases:
                 for name in self.approaches:
-                    result = protocols[name].recover(  # type: ignore[attr-defined]
-                        case.initiator, case.destination, case.trigger
-                    )
+                    result = self._recover_one(protocols[name], name, case)
                     records[name].append(CaseRecord(case=case, result=result))
         return records
+
+    def _recover_one(
+        self, protocol: object, name: str, case: TestCase
+    ) -> RecoveryResult:
+        """Run one case, isolating per-case crashes when configured."""
+        if not self.isolate_errors:
+            return protocol.recover(  # type: ignore[attr-defined]
+                case.initiator, case.destination, case.trigger
+            )
+        try:
+            return protocol.recover(  # type: ignore[attr-defined]
+                case.initiator, case.destination, case.trigger
+            )
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            return RecoveryResult(
+                approach=name,
+                delivered=False,
+                path=None,
+                accounting=RecoveryAccounting(),
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     def run_cases(
         self, case_set: CaseSet, cases: Sequence[TestCase]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..errors import UnknownNodeError
+from ..errors import UnknownLinkError, UnknownNodeError
 from ..topology import Link
 from .model import FailureScenario
 
@@ -29,9 +29,19 @@ class LocalView:
         self._unreachable: Dict[int, List[int]] = {}
 
     def is_neighbor_reachable(self, node: int, neighbor: int) -> bool:
-        """Whether router ``node`` can currently reach its ``neighbor``."""
-        if not self.topo.has_link(node, neighbor):
+        """Whether router ``node`` can currently reach its ``neighbor``.
+
+        Raises :class:`UnknownNodeError` when either id is not in the
+        topology, and :class:`UnknownLinkError` when both nodes exist but
+        are not adjacent — the two mistakes need different fixes at the
+        call site, so they get different exceptions.
+        """
+        if not self.topo.has_node(node):
+            raise UnknownNodeError(node)
+        if not self.topo.has_node(neighbor):
             raise UnknownNodeError(neighbor)
+        if not self.topo.has_link(node, neighbor):
+            raise UnknownLinkError(Link.of(node, neighbor))
         return (
             self.scenario.is_node_live(neighbor)
             and self.scenario.is_link_live(Link.of(node, neighbor))

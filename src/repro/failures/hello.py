@@ -64,11 +64,17 @@ class DetectionModel:
         self.view = LocalView(scenario)
         rng = rng or random.Random(0)
         self._times: Dict[Tuple[int, int], float] = {}
-        topo = scenario.topo
+        #: Per-router earliest detection, maintained at construction so
+        #: :meth:`first_detection` is O(1) instead of scanning every
+        #: adjacency (it sits on the hot path of convergence sweeps).
+        self._first: Dict[int, float] = {}
         for node in sorted(scenario.live_nodes()):
             for neighbor in sorted(self.view.unreachable_neighbors(node)):
                 phase = rng.uniform(0.0, config.hello_interval)
-                self._times[(node, neighbor)] = config.dead_interval - phase
+                t = config.dead_interval - phase
+                self._times[(node, neighbor)] = t
+                if node not in self._first or t < self._first[node]:
+                    self._first[node] = t
 
     def detection_time(self, router: int, neighbor: int) -> float:
         """When ``router`` declares its ``neighbor`` unreachable."""
@@ -82,10 +88,7 @@ class DetectionModel:
 
     def first_detection(self, router: int) -> Optional[float]:
         """``router``'s earliest detection, or None if it detects nothing."""
-        times = [
-            t for (r, _nb), t in self._times.items() if r == router
-        ]
-        return min(times) if times else None
+        return self._first.get(router)
 
     def earliest_network_detection(self) -> Optional[float]:
         """The first detection anywhere (when recovery can first begin)."""

@@ -18,8 +18,13 @@ from .delays import (
 )
 from .events import EventQueue
 from .stats import RecoveryAccounting, RecoveryResult
-from .trace import ForwardingTrace, HopEvent
-from .engine import ForwardingEngine, NextHopFn
+from .trace import DropEvent, ForwardingTrace, HopEvent
+from .engine import (
+    ForwardingEngine,
+    NextHopFn,
+    RouteOutcome,
+    WalkOutcome,
+)
 
 __all__ = [
     "BYTES_PER_ID",
@@ -37,8 +42,11 @@ __all__ = [
     "EventQueue",
     "RecoveryAccounting",
     "RecoveryResult",
+    "DropEvent",
     "ForwardingTrace",
     "HopEvent",
     "ForwardingEngine",
     "NextHopFn",
+    "RouteOutcome",
+    "WalkOutcome",
 ]

@@ -35,10 +35,22 @@ class RecoveryAccounting:
     hops_traveled: int = 0
     #: Clock of the run, advanced by the delay model.
     clock: float = 0.0
+    #: Recovery packets retransmitted after an injected loss or truncation.
+    retransmissions: int = 0
 
     def count_sp(self, n: int = 1) -> None:
         """Record ``n`` on-demand shortest-path computations."""
         self.sp_computations += n
+
+    def count_retry(self, n: int = 1) -> None:
+        """Record ``n`` recovery-packet retransmissions."""
+        self.retransmissions += n
+
+    def advance_clock(self, delay: float) -> None:
+        """Advance the clock without a hop (retry backoff, convergence wait)."""
+        if delay < 0:
+            raise ValueError(f"cannot advance the clock backwards ({delay})")
+        self.clock += delay
 
     def record_hop(self, delay: float, header_bytes: int) -> None:
         """Record one hop transmission carrying ``header_bytes`` of recovery data."""
@@ -81,6 +93,25 @@ class RecoveryResult:
     #: packet size there — the ``h`` and ``s`` of the §IV-D metric.
     drop_hops: int = 0
     drop_packet_bytes: int = 0
+    #: Whether this outcome came from the graceful-degradation ladder
+    #: falling back to waiting out OSPF reconvergence (the fate of traffic
+    #: when RTR itself could not complete under injected faults).
+    fallback: bool = False
+    #: Recovery-packet retries (phase-1 retransmissions, phase-2 resends
+    #: and §III-D re-invocations) spent on this case.
+    retries: int = 0
+    #: When per-case error isolation caught a crash, the formatted
+    #: exception; ``None`` for any outcome the protocol itself produced.
+    error: Optional[str] = None
+
+    @property
+    def status(self) -> str:
+        """``delivered`` / ``dropped`` / ``fallback`` / ``error``."""
+        if self.error is not None:
+            return "error"
+        if self.fallback:
+            return "fallback"
+        return "delivered" if self.delivered else "dropped"
 
     @property
     def sp_computations(self) -> int:

@@ -29,15 +29,35 @@ class HopEvent:
     packet_id: int
 
 
+@dataclass(frozen=True)
+class DropEvent:
+    """One packet discarded before its transmission completed.
+
+    Recorded by the chaos engine (injected loss) and by degraded-mode
+    walks (truncation); the base engine never drops.
+    """
+
+    time: float
+    node: int
+    mode: int
+    packet_id: int
+    reason: str
+
+
 @dataclass
 class ForwardingTrace:
     """An append-only log of hop events."""
 
     events: List[HopEvent] = field(default_factory=list)
+    drops: List[DropEvent] = field(default_factory=list)
 
     def record(self, event: HopEvent) -> None:
         """Append one event (called by the engine)."""
         self.events.append(event)
+
+    def record_drop(self, event: DropEvent) -> None:
+        """Append one drop event (called by the chaos engine)."""
+        self.drops.append(event)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -61,6 +81,10 @@ class ForwardingTrace:
         """Links crossed more than once — the tree-branch signature of
         §IV-B and the Fig. 5 disorder's symptom."""
         return [link for link, n in self.links_traversed().items() if n > 1]
+
+    def drop_count(self) -> int:
+        """Number of packets the trace saw discarded."""
+        return len(self.drops)
 
     def peak_header(self) -> Optional[HopEvent]:
         """The event carrying the largest recovery header."""

@@ -1,0 +1,65 @@
+"""Tests for repro.chaos.plan (FaultPlan validation and determinism)."""
+
+import pytest
+
+from repro.chaos import FaultPlan, SecondaryFailure
+from repro.errors import ChaosError
+
+
+class TestValidation:
+    def test_default_plan_is_null(self):
+        assert FaultPlan().is_null()
+
+    @pytest.mark.parametrize(
+        "field", ["packet_loss_rate", "detection_miss_rate", "header_corruption_rate"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rates_out_of_range_rejected(self, field, value):
+        with pytest.raises(ChaosError):
+            FaultPlan(**{field: value})
+
+    def test_miss_plus_delay_over_one_rejected(self):
+        with pytest.raises(ChaosError):
+            FaultPlan(
+                detection_miss_rate=0.6,
+                detection_delay_rate=0.6,
+                detection_delay_hops=5,
+            )
+
+    def test_delay_rate_without_delay_hops_rejected(self):
+        with pytest.raises(ChaosError):
+            FaultPlan(detection_delay_rate=0.2)
+
+    def test_secondary_failure_before_first_hop_rejected(self):
+        with pytest.raises(ChaosError):
+            SecondaryFailure(at_hop=0)
+
+    def test_any_injector_makes_plan_non_null(self):
+        assert not FaultPlan(packet_loss_rate=0.01).is_null()
+        assert not FaultPlan(
+            secondary_failures=(SecondaryFailure(at_hop=2),)
+        ).is_null()
+
+    def test_secondary_failures_normalized_to_tuple(self):
+        plan = FaultPlan(secondary_failures=[SecondaryFailure(at_hop=2)])
+        assert isinstance(plan.secondary_failures, tuple)
+        hash(plan)  # stays hashable
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = FaultPlan(seed=7).rng("packet-loss")
+        b = FaultPlan(seed=7).rng("packet-loss")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=7).rng("packet-loss")
+        b = FaultPlan(seed=8).rng("packet-loss")
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_streams_are_independent(self):
+        # Changing one injector's stream name must not reshuffle another's.
+        plan = FaultPlan(seed=7)
+        loss = [plan.rng("packet-loss").random() for _ in range(5)]
+        detection = [plan.rng("detection").random() for _ in range(5)]
+        assert loss != detection

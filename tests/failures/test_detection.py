@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import UnknownNodeError
+from repro.errors import UnknownLinkError, UnknownNodeError
 from repro.failures import FailureScenario, LocalView
 from repro.topology import Link
 
@@ -20,10 +20,21 @@ class TestLocalView:
         assert not view.is_neighbor_reachable(0, 1)
         assert not view.is_neighbor_reachable(1, 0)
 
-    def test_non_neighbor_rejected(self, ring8):
+    def test_non_neighbor_rejected_as_unknown_link(self, ring8):
+        # 0 and 4 both exist in ring8 but are not adjacent: that is a
+        # missing *link*, not a missing node, and the error must say so
+        # (and name both endpoints).
+        view = LocalView(FailureScenario.from_nodes(ring8, []))
+        with pytest.raises(UnknownLinkError) as exc:
+            view.is_neighbor_reachable(0, 4)
+        assert exc.value.link == Link.of(0, 4)
+
+    def test_unknown_node_still_rejected_as_unknown_node(self, ring8):
         view = LocalView(FailureScenario.from_nodes(ring8, []))
         with pytest.raises(UnknownNodeError):
-            view.is_neighbor_reachable(0, 4)
+            view.is_neighbor_reachable(0, 99)
+        with pytest.raises(UnknownNodeError):
+            view.is_neighbor_reachable(99, 0)
 
     def test_cannot_distinguish_node_from_link_failure(self, ring8):
         # The information asymmetry of §II-A: from node 2's view, a failed

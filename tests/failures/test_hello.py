@@ -64,6 +64,16 @@ class TestDetectionModel:
         )
         assert model.first_detection(17) is None
 
+    def test_first_detection_matches_scan_everywhere(self, paper_scenario):
+        # The precomputed per-router minimum must agree with a full scan of
+        # the detection table for every router in the network.
+        model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(10))
+        times = model.all_detections()
+        for router in paper_scenario.topo.nodes():
+            scanned = [t for (r, _nb), t in times.items() if r == router]
+            expected = min(scanned) if scanned else None
+            assert model.first_detection(router) == expected
+
     def test_recovery_start_matches_trigger_detection(self, paper_scenario):
         model = DetectionModel(paper_scenario, BFD_TIMERS, random.Random(6))
         assert model.recovery_start(6, 11) == model.detection_time(6, 11)

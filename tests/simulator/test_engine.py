@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ForwardingLoopError
+from repro.errors import ForwardingLoopError, SimulationError
 from repro.failures import FailureScenario, LocalView
 from repro.simulator import ForwardingEngine, Packet, RecoveryAccounting
 from repro.topology import Link
@@ -92,3 +92,58 @@ class TestFollowSourceRoute:
             packet, [0, 1, 2, 3], RecoveryAccounting()
         )
         assert not delivered and drop == 2
+
+    def test_empty_route_raises_descriptive_error(self, ring8):
+        # Regression: an empty route used to die with an IndexError on
+        # route[0]; it must be a SimulationError naming the packet.
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=3)
+        with pytest.raises(SimulationError, match="source route is empty"):
+            engine.follow_source_route(packet, [], RecoveryAccounting())
+        with pytest.raises(SimulationError, match="source route is empty"):
+            engine.follow_source_route_outcome(packet, [], RecoveryAccounting())
+
+    def test_outcome_missed_failure_is_not_lost(self, ring8):
+        engine = make_engine(ring8, failed_links=[Link.of(2, 3)])
+        packet = Packet(source=0, destination=3)
+        outcome = engine.follow_source_route_outcome(
+            packet, [0, 1, 2, 3], RecoveryAccounting()
+        )
+        assert not outcome.delivered
+        assert outcome.drop_node == 2
+        assert not outcome.lost  # a real missed failure, not injected loss
+        assert "missed by phase 1" in outcome.drop_reason
+
+
+class TestWalkOutcome:
+    def test_completed_outcome(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=0)
+        outcome = engine.walk_outcome(
+            packet, lambda n, p: (n + 1) if n < 2 else None, RecoveryAccounting()
+        )
+        assert outcome.completed and not outcome.truncated and not outcome.lost
+        assert outcome.visited == [0, 1, 2]
+
+    def test_truncate_mode_returns_partial_walk(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=0)
+        outcome = engine.walk_outcome(
+            packet,
+            lambda n, p: (n + 1) % 8,
+            RecoveryAccounting(),
+            max_hops=20,
+            on_overrun="truncate",
+        )
+        assert outcome.truncated and not outcome.completed
+        assert len(outcome.visited) == 21
+        assert outcome.drop_node == outcome.visited[-1]
+        assert "exceeded" in outcome.drop_reason
+
+    def test_unknown_overrun_mode_rejected(self, ring8):
+        engine = make_engine(ring8)
+        packet = Packet(source=0, destination=0)
+        with pytest.raises(ValueError):
+            engine.walk_outcome(
+                packet, lambda n, p: None, RecoveryAccounting(), on_overrun="ignore"
+            )
