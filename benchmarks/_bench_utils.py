@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import subprocess
 from pathlib import Path
+from typing import Dict, Optional
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable perf trajectory, checked in and updated per PR.
+#: Schema: bench name -> {wall_s, cases, sp_computations, python, git_sha}.
+BENCH_JSON = Path(__file__).parent / "BENCH_core.json"
 
 #: Case-count multiplier (1 = laptop-quick defaults).
 SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
@@ -31,3 +39,52 @@ def emit_figure(name: str, svg: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.svg").write_text(svg)
     print(f"(figure written: benchmarks/results/{name}.svg)")
+
+
+def _git_sha() -> str:
+    """Short commit hash of the benchmarked tree (``-dirty`` suffixed)."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--abbrev=12"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def load_bench_json() -> Dict[str, dict]:
+    """The checked-in perf baseline, or ``{}`` before the first record."""
+    if BENCH_JSON.exists():
+        return json.loads(BENCH_JSON.read_text())
+    return {}
+
+
+def record_bench(
+    name: str,
+    wall_s: float,
+    cases: int,
+    sp_computations: int,
+    git_sha: Optional[str] = None,
+) -> dict:
+    """Merge one benchmark measurement into ``BENCH_core.json``.
+
+    Keyed by bench name so each run refreshes its own entry and leaves the
+    rest of the trajectory untouched.  ``sp_computations`` is the process
+    delta of :func:`repro.routing.dijkstra_run_count` — the denominator
+    that makes wall-clock comparable across machines.
+    """
+    data = load_bench_json()
+    data[name] = {
+        "wall_s": round(wall_s, 4),
+        "cases": cases,
+        "sp_computations": sp_computations,
+        "python": platform.python_version(),
+        "git_sha": git_sha if git_sha is not None else _git_sha(),
+    }
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data[name]

@@ -4,7 +4,10 @@ Each benchmark regenerates one table or figure of the paper's §IV and
 emits the rows/series in paper form.  Output goes both to stdout (visible
 with ``pytest -s``) and to ``benchmarks/results/<name>.txt`` so a plain
 ``pytest benchmarks/ --benchmark-only`` run leaves the regenerated tables
-on disk.
+on disk.  Every ``run_once`` measurement is also merged into the
+machine-readable ``benchmarks/BENCH_core.json`` (wall seconds, case count,
+Dijkstra kernel runs, interpreter, commit) so the perf trajectory is
+tracked across PRs.
 
 Scale knob: set ``REPRO_BENCH_SCALE`` (default 1) to multiply case counts;
 the paper-scale run (10,000 cases per topology) is
@@ -13,18 +16,39 @@ the paper-scale run (10,000 cases per topology) is
 
 from __future__ import annotations
 
+import time
+
 import pytest
+
+from _bench_utils import BASE_CASES, record_bench
+
+from repro.routing import dijkstra_run_count
 
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Run the experiment exactly once under the benchmark timer.
 
     The per-figure experiments are seconds-long end-to-end simulations;
     statistical repetition belongs to the microbenchmarks, not here.
+    Besides the pytest-benchmark timing, the run is recorded into
+    ``BENCH_core.json`` under the test's name (minus the ``test_`` prefix).
     """
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        name = request.node.name
+        if name.startswith("test_"):
+            name = name[len("test_") :]
+        sp_before = dijkstra_run_count()
+        t0 = time.perf_counter()
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        wall_s = time.perf_counter() - t0
+        record_bench(
+            name,
+            wall_s=wall_s,
+            cases=int(kwargs.get("n_cases", BASE_CASES)),
+            sp_computations=dijkstra_run_count() - sp_before,
+        )
+        return result
 
     return runner

@@ -1,0 +1,76 @@
+"""CI perf smoke: pinned small sweep vs the checked-in baseline.
+
+Runs the exact configuration of ``bench_table3_recoverable`` (the
+``table3_recoverable`` entry of ``BENCH_core.json``), then fails when the
+measured wall clock regresses by more than ``REPRO_PERF_TOLERANCE``
+(default 30%) against the checked-in number.  The shortest-path kernel
+count is compared exactly — it is deterministic for a pinned seed, so a
+drift there means the algorithm changed, not the machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # compare
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update   # rebaseline
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_utils import BENCH_JSON, load_bench_json, record_bench
+
+from repro.eval.experiments import table3_recoverable
+from repro.routing import dijkstra_run_count
+
+BENCH_NAME = "table3_recoverable"
+PINNED = dict(topologies=("AS209", "AS1239", "AS3549"), n_cases=120, seed=0)
+TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
+
+
+def main(argv: list) -> int:
+    update = "--update" in argv
+
+    sp_before = dijkstra_run_count()
+    t0 = time.perf_counter()
+    table3_recoverable(**PINNED)
+    wall_s = time.perf_counter() - t0
+    sp = dijkstra_run_count() - sp_before
+    print(f"perf-smoke: {BENCH_NAME} wall={wall_s:.4f}s sp_computations={sp}")
+
+    baseline = load_bench_json().get(BENCH_NAME)
+    if update or baseline is None:
+        entry = record_bench(BENCH_NAME, wall_s=wall_s, cases=PINNED["n_cases"], sp_computations=sp)
+        print(f"perf-smoke: baseline written to {BENCH_JSON}: {entry}")
+        if baseline is None and not update:
+            print("perf-smoke: no baseline existed; recorded one (not a pass/fail run)")
+        return 0
+
+    limit = baseline["wall_s"] * (1.0 + TOLERANCE)
+    print(
+        f"perf-smoke: baseline wall={baseline['wall_s']:.4f}s "
+        f"(git {baseline['git_sha']}), limit={limit:.4f}s (+{TOLERANCE:.0%})"
+    )
+    failed = False
+    if sp != baseline["sp_computations"]:
+        print(
+            f"perf-smoke: FAIL — sp_computations {sp} != baseline "
+            f"{baseline['sp_computations']}: the pinned sweep is deterministic, "
+            "so the routing workload itself changed; rerun with --update if intended"
+        )
+        failed = True
+    if wall_s > limit:
+        print(f"perf-smoke: FAIL — wall {wall_s:.4f}s exceeds limit {limit:.4f}s")
+        failed = True
+    if failed:
+        return 1
+    print("perf-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -22,7 +22,7 @@ from typing import List, Optional, Set
 
 from ..errors import SimulationError
 from ..failures import FailureScenario, LocalView
-from ..routing import Path, RoutingTable, shortest_path_or_none
+from ..routing import Path, RoutingTable, SPTCache
 from ..simulator import (
     DEFAULT_DELAY_MODEL,
     DEFAULT_PAYLOAD_BYTES,
@@ -49,6 +49,7 @@ class FCP:
         routing: Optional[RoutingTable] = None,
         delay_model: DelayModel = DEFAULT_DELAY_MODEL,
         max_recomputations: int = 10_000,
+        cache: Optional[SPTCache] = None,
     ) -> None:
         self.topo = topo
         self.scenario = scenario
@@ -56,6 +57,11 @@ class FCP:
         self.routing = routing if routing is not None else RoutingTable(topo)
         self.engine = ForwardingEngine(topo, self.view, delay_model)
         self.max_recomputations = max_recomputations
+        # Recomputations from the same node with the same carried failure
+        # set recur across destinations of one scenario; the cached tree is
+        # result-identical and each recomputation is still charged one SP
+        # calculation in the §IV accounting below.
+        self.cache = cache if cache is not None else SPTCache()
 
     def recover(
         self,
@@ -91,7 +97,7 @@ class FCP:
             carried: Set[Link] = set(header.failed_links)
             local = set(self.view.locally_failed_links(current))
             accounting.count_sp(1)
-            route = shortest_path_or_none(
+            route = self.cache.shortest_path_or_none(
                 self.topo, current, destination, excluded_links=carried | local
             )
             if route is None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import SimulationError
+from ..errors import SimulationError, UnknownNodeError
 from ..failures import FailureScenario, LocalView
 from ..routing import Path, RoutingTable
 from ..simulator import (
@@ -62,6 +62,19 @@ class BackupConfiguration:
                     isolated.add(link)
         self.isolated_links = isolated
         self._trees: Dict[int, object] = {}
+        self._weight_cache: Optional[Tuple[int, List[float]]] = None
+
+    def _csr_weights(self, csr) -> List[float]:
+        """Per-link-id config weights for the CSR kernel (-1 = unusable)."""
+        cached = self._weight_cache
+        if cached is not None and cached[0] == csr.version:
+            return cached[1]
+        weights = [-1.0] * csr.lid_size
+        for link in self.topo.links():
+            w = self.link_weight(link)
+            weights[self.topo.link_index(link)] = -1.0 if w is None else w
+        self._weight_cache = (csr.version, weights)
+        return weights
 
     def link_weight(self, link: Link) -> Optional[float]:
         """Config weight of ``link``: None means unusable (isolated)."""
@@ -85,37 +98,54 @@ class BackupConfiguration:
 def _weighted_reverse_tree(
     topo: Topology, destination: int, config: BackupConfiguration
 ) -> Dict[int, int]:
-    """Next-hop map toward ``destination`` under the config's weights."""
+    """Next-hop map toward ``destination`` under the config's weights.
+
+    Runs on the CSR view with a per-config weight array over interned link
+    ids (cached on the configuration); node-index comparisons equal id
+    comparisons, so the smaller-next-hop tie-break is unchanged.
+    """
     import heapq
 
-    dist: Dict[int, float] = {destination: 0.0}
-    next_hop: Dict[int, int] = {}
-    settled: Set[int] = set()
-    heap: List[Tuple[float, int]] = [(0.0, destination)]
+    csr = topo.csr()
+    root = csr.pos.get(destination)
+    if root is None:
+        raise UnknownNodeError(destination)
+    weights = config._csr_weights(csr)
+    isolated = csr.node_flags(config.isolated_nodes)
+    indptr, nbr, lid, ids = csr.indptr, csr.nbr, csr.lid, csr.ids
+
+    inf = float("inf")
+    n = csr.n
+    dist = [inf] * n
+    next_hop = [-1] * n
+    settled = bytearray(n)
+    dist[root] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, root)]
     while heap:
         d, u = heapq.heappop(heap)
-        if u in settled:
+        if settled[u]:
             continue
-        settled.add(u)
-        for v in topo.neighbors(u):
-            if v in settled:
+        settled[u] = 1
+        # Transit never crosses an isolated node: an isolated node may be
+        # the destination or the source, not an intermediate hop.
+        if isolated[u] and u != root:
+            continue
+        for i in range(indptr[u], indptr[u + 1]):
+            v = nbr[i]
+            if settled[v]:
                 continue
-            weight = config.link_weight(Link.of(u, v))
-            if weight is None:
-                continue
-            # Transit never crosses an isolated node: an isolated node may
-            # be the destination or the source, not an intermediate hop.
-            if u != destination and u in config.isolated_nodes:
+            weight = weights[lid[i]]
+            if weight < 0.0:
                 continue
             candidate = d + weight
-            known = dist.get(v)
-            if known is None or candidate < known - 1e-9:
+            known = dist[v]
+            if candidate < known - 1e-9:
                 dist[v] = candidate
                 next_hop[v] = u
                 heapq.heappush(heap, (candidate, v))
-            elif known is not None and abs(candidate - known) <= 1e-9 and u < next_hop[v]:
+            elif known != inf and abs(candidate - known) <= 1e-9 and u < next_hop[v]:
                 next_hop[v] = u
-    return next_hop
+    return {ids[v]: ids[next_hop[v]] for v in range(n) if next_hop[v] >= 0}
 
 
 def generate_configurations(

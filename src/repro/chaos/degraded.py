@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from ..failures import FailureScenario, LocalView
-from ..topology import Link
 from .plan import FaultPlan
 from .runtime import ChaosRuntime
 
@@ -59,7 +58,11 @@ class DegradedLocalView(LocalView):
     def is_neighbor_reachable(self, node: int, neighbor: int) -> bool:
         """Reachability as *this* degraded router currently believes it."""
         truly_reachable = super().is_neighbor_reachable(node, neighbor)
-        if self.runtime.is_link_flapped(Link.of(node, neighbor)):
+        # super() proved the adjacency exists, so the interned id is present;
+        # probe it instead of constructing a Link per call.
+        if self.runtime.flapped_lids and self.runtime.is_link_id_flapped(
+            self.topo.csr().pair_lid[(node, neighbor)]
+        ):
             return False
         if truly_reachable:
             return True

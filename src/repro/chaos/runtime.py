@@ -32,6 +32,9 @@ class ChaosRuntime:
         self.headers_corrupted = 0
         #: Secondary-failure links currently active (flapped down).
         self.flapped_links: Set[Link] = set()
+        #: The same set as interned link ids — the degraded view's hot
+        #: probe checks ids instead of constructing ``Link`` objects.
+        self.flapped_lids: Set[int] = set()
         self._loss_rng = plan.rng("packet-loss")
         self._corruption_rng = plan.rng("header-corruption")
         self._pending: List[Tuple[int, Link]] = self._resolve_secondary(plan, scenario)
@@ -84,10 +87,17 @@ class ChaosRuntime:
         while self._pending and self._pending[0][0] <= self.hops:
             _, link = self._pending.pop(0)
             self.flapped_links.add(link)
+            lid = self.scenario.topo.csr().pair_lid.get((link.u, link.v))
+            if lid is not None:
+                self.flapped_lids.add(lid)
 
     def is_link_flapped(self, link: Link) -> bool:
         """Whether ``link`` has been taken down by a secondary failure."""
         return link in self.flapped_links
+
+    def is_link_id_flapped(self, lid: int) -> bool:
+        """Interned-id variant of :meth:`is_link_flapped`."""
+        return lid in self.flapped_lids
 
     def sample_packet_loss(self) -> bool:
         """Draw one per-hop loss decision (counts the drop when taken)."""

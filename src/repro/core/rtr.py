@@ -42,7 +42,7 @@ from typing import Dict, Optional
 
 from ..errors import SimulationError
 from ..failures import FailureScenario, LocalView
-from ..routing import LinkStateProtocol, RoutingTable
+from ..routing import LinkStateProtocol, RoutingTable, SPTCache
 from ..simulator import (
     DEFAULT_DELAY_MODEL,
     DEFAULT_PAYLOAD_BYTES,
@@ -133,9 +133,14 @@ class RTR:
         routing: Optional[RoutingTable] = None,
         config: Optional[RTRConfig] = None,
         fault_plan: Optional[object] = None,
+        sp_cache: Optional[SPTCache] = None,
     ) -> None:
         self.topo = topo
         self.scenario = scenario
+        #: Shared SPT pool for phase-2 recomputation and the reconvergence
+        #: fallback oracle; a sweep-wide cache reuses pre-failure trees
+        #: across scenarios.
+        self.sp_cache = sp_cache if sp_cache is not None else SPTCache()
         #: The consistent pre-failure routing view (§II-A); used to find the
         #: default next hop that triggers recovery.
         self.routing = routing if routing is not None else RoutingTable(topo)
@@ -234,6 +239,7 @@ class RTR:
                 initiator,
                 phase1,
                 use_incremental=self.config.use_incremental,
+                cache=self.sp_cache,
             )
             self._phase2_cache[initiator] = engine
         return engine
@@ -435,7 +441,9 @@ class RTR:
         wait = self._reconvergence_time()
         if wait > accounting.clock:
             accounting.advance_clock(wait - accounting.clock)
-        path = Oracle(self.topo, self.scenario).recovery_path(initiator, destination)
+        path = Oracle(self.topo, self.scenario, cache=self.sp_cache).recovery_path(
+            initiator, destination
+        )
         delivered = path is not None
         return RecoveryResult(
             approach=APPROACH_NAME,

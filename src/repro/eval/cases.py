@@ -21,7 +21,7 @@ from ..failures import (
     LocalView,
     random_circle,
 )
-from ..routing import RoutingTable
+from ..routing import RoutingTable, SPTCache
 from ..topology import Topology
 
 
@@ -70,6 +70,7 @@ def enumerate_scenario_cases(
     routing: RoutingTable,
     scenario: FailureScenario,
     scenario_index: int = 0,
+    cache: Optional[SPTCache] = None,
 ) -> Iterator[TestCase]:
     """All distinct test cases of one failure scenario.
 
@@ -80,7 +81,7 @@ def enumerate_scenario_cases(
     the irrecoverable ones §II-C cares about.
     """
     view = LocalView(scenario)
-    oracle = Oracle(topo, scenario)
+    oracle = Oracle(topo, scenario, cache=cache)
     for initiator in scenario.live_nodes():
         unreachable = set(view.unreachable_neighbors(initiator))
         if not unreachable:
@@ -183,14 +184,16 @@ def generate_cases(
     radius_range: Tuple[float, float] = PAPER_RADIUS_RANGE,
     routing: Optional[RoutingTable] = None,
     max_scenarios: int = 100_000,
+    cache: Optional[SPTCache] = None,
 ) -> CaseSet:
     """Generate failure areas until both case quotas are met (§IV-A).
 
     Mirrors the paper's setup: random circles, all resulting distinct test
     cases collected, until ``n_recoverable`` recoverable and
-    ``n_irrecoverable`` irrecoverable cases exist.
+    ``n_irrecoverable`` irrecoverable cases exist.  ``cache`` (optional)
+    shares oracle/routing trees with the rest of a sweep.
     """
-    routing = routing if routing is not None else RoutingTable(topo)
+    routing = routing if routing is not None else RoutingTable(topo, cache=cache)
     case_set = CaseSet(topo=topo, routing=routing)
     got_rec = 0
     got_irr = 0
@@ -204,7 +207,7 @@ def generate_cases(
             continue
         index = len(case_set.scenarios)
         scenario_used = False
-        for case in enumerate_scenario_cases(topo, routing, scenario, index):
+        for case in enumerate_scenario_cases(topo, routing, scenario, index, cache):
             if case.recoverable:
                 if got_rec >= n_recoverable:
                     continue

@@ -14,7 +14,7 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..failures import fixed_radius_scenarios
-from ..routing import RoutingTable
+from ..routing import RoutingTable, SPTCache
 from ..topology import Topology, isp_catalog
 from .cases import (
     CaseSet,
@@ -37,8 +37,20 @@ from .runner import ALL_APPROACHES, EvaluationRunner
 DEFAULT_TOPOLOGIES: Tuple[str, ...] = tuple(isp_catalog.names())
 
 
+#: Built topologies are immutable during evaluation (failures are modeled
+#: as exclusion sets, never as mutations), so drivers in one process share
+#: a single instance per (name, seed) — the CSR view and precomputed
+#: cross-link sets are then built once instead of once per driver call.
+_TOPOLOGY_CACHE: Dict[Tuple[str, int], Topology] = {}
+
+
 def _build_topology(name: str, seed: int) -> Topology:
-    return isp_catalog.build(name, seed=seed)
+    key = (name, seed)
+    topo = _TOPOLOGY_CACHE.get(key)
+    if topo is None:
+        topo = isp_catalog.build(name, seed=seed)
+        _TOPOLOGY_CACHE[key] = topo
+    return topo
 
 
 def _cases_and_records(
@@ -50,8 +62,13 @@ def _cases_and_records(
 ) -> Tuple[CaseSet, Dict[str, List[CaseRecord]]]:
     topo = _build_topology(name, seed)
     rng = random.Random(seed * 7_919 + 13)
-    case_set = generate_cases(topo, rng, n_recoverable, n_irrecoverable)
-    runner = EvaluationRunner(topo, routing=case_set.routing, approaches=approaches)
+    # One SPT pool serves case generation (oracle classification) and the
+    # protocol runs; all of them route on the same scenario exclusions.
+    cache = SPTCache()
+    case_set = generate_cases(topo, rng, n_recoverable, n_irrecoverable, cache=cache)
+    runner = EvaluationRunner(
+        topo, routing=case_set.routing, approaches=approaches, sp_cache=cache
+    )
     records = runner.run(case_set)
     return case_set, records
 

@@ -1,78 +1,144 @@
 """Parallel experiment execution for paper-scale runs.
 
 The paper's evaluation is 10,000 + 10,000 cases on each of eight
-topologies; topologies are embarrassingly parallel, so these wrappers
-fan the per-topology work of the Table III / Table IV drivers across a
-process pool.  Results are identical to the serial drivers for the same
-seed (asserted by tests): the per-topology RNG stream never depends on
-execution order.
+topologies.  Fanning out one task per topology caps the useful worker
+count at the catalog size (8), so these wrappers shard *within* each
+topology as well: every topology's case list is split into seed-stable
+chunks on scenario boundaries, and each (topology, shard) pair becomes
+one process-pool task — a 32-core box is saturated even on a
+single-topology run.
+
+Determinism: case generation depends only on ``(name, counts, seed)``;
+per-case results depend only on (topology, scenario, case, approach
+config), and a shard always contains whole scenarios, so each scenario's
+protocol state (phase-1 walks, phase-2 trees, FCP headers) is built
+exactly as the serial runner builds it.  Workers return raw
+:class:`~repro.eval.metrics.CaseRecord` lists; the parent reassembles
+them in serial order and feeds the *same* summary code paths as the
+serial drivers — Table III / Table IV output is bit-identical to
+:func:`~repro.eval.experiments.table3_recoverable` /
+:func:`~repro.eval.experiments.table4_wasted_summary` for the same seed
+(asserted by tests).
+
+Workers memoize the generated case set per process (a
+:class:`~concurrent.futures.ProcessPoolExecutor` reuses processes), so
+the per-topology generation cost is paid once per worker, not once per
+shard.
 """
 
 from __future__ import annotations
 
+import os
+import random
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .metrics import summarize_irrecoverable, summarize_recoverable
-from .runner import ALL_APPROACHES
+from ..routing import SPTCache
+from .cases import CaseSet, TestCase, generate_cases
+from .metrics import (
+    CaseRecord,
+    savings_ratio,
+    summarize_irrecoverable,
+    summarize_recoverable,
+)
+from .runner import ALL_APPROACHES, EvaluationRunner
 
 # Module-level workers: ProcessPoolExecutor requires picklable callables.
 
-
-def _table3_worker(args) -> tuple:
-    name, n_cases, seed, approaches = args
-    from .experiments import _cases_and_records, _split_records
-
-    case_set, records = _cases_and_records(name, n_cases, 0, seed, approaches)
-    recoverable, _ = _split_records(case_set, records)
-    summary = {a: summarize_recoverable(recoverable[a]).as_dict() for a in approaches}
-    pooled = {
-        a: [
-            (r.delivered, r.is_optimal(), r.stretch(), r.result.sp_computations)
-            for r in recoverable[a]
-        ]
-        for a in approaches
-    }
-    return name, summary, pooled
+#: Per-process memo of generated case sets, keyed by the generation
+#: parameters.  Pool processes handle many shards of the same topology;
+#: only the first pays the generation cost.
+_WORKER_STATE: Dict[tuple, tuple] = {}
 
 
-def _table4_worker(args) -> tuple:
-    name, n_cases, seed, approaches = args
-    from .experiments import _cases_and_records, _split_records
+def shard_cases(case_set: CaseSet, n_shards: int) -> List[List[TestCase]]:
+    """Split cases into ``n_shards`` contiguous, scenario-aligned chunks.
 
-    case_set, records = _cases_and_records(name, 0, n_cases, seed, approaches)
-    _, irrecoverable = _split_records(case_set, records)
-    summary = {
-        a: summarize_irrecoverable(irrecoverable[a]).as_dict() for a in approaches
-    }
-    pooled = {
-        a: [
-            (r.result.sp_computations, r.result.wasted_transmission())
-            for r in irrecoverable[a]
-        ]
-        for a in approaches
-    }
-    return name, summary, pooled
+    Scenarios are kept whole (per-scenario protocol state must be built
+    exactly as in a serial run) and stay in serial order, so concatenating
+    the shards reproduces the serial case order.  Chunks are balanced by
+    case count; trailing shards may be empty when there are fewer
+    scenarios than shards.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    groups = sorted(case_set.by_scenario().items())
+    total = sum(len(cases) for _, cases in groups)
+    shards: List[List[TestCase]] = [[] for _ in range(n_shards)]
+    done = 0
+    index = 0
+    for _, cases in groups:
+        while index < n_shards - 1 and done * n_shards >= (index + 1) * total:
+            index += 1
+        shards[index].extend(cases)
+        done += len(cases)
+    return shards
 
 
-def _overall_recoverable(pooled_rows: Dict[str, List[tuple]]) -> Dict[str, Dict]:
-    overall: Dict[str, Dict] = {}
-    for approach, rows in pooled_rows.items():
-        n = len(rows)
-        delivered = sum(1 for d, _o, _s, _c in rows if d)
-        optimal = sum(1 for _d, o, _s, _c in rows if o)
-        stretches = [s for _d, _o, s, _c in rows if s is not None]
-        sp = [c for _d, _o, _s, c in rows]
-        overall[approach] = {
-            "approach": approach,
-            "cases": n,
-            "recovery_rate_pct": round(100.0 * delivered / n, 1),
-            "optimal_recovery_rate_pct": round(100.0 * optimal / n, 1),
-            "max_stretch": round(max(stretches), 2) if stretches else 0.0,
-            "max_sp_computations": max(sp) if sp else 0,
-            "mean_sp_computations": round(sum(sp) / n, 2) if n else 0.0,
-        }
-    return overall
+def _worker_case_set(
+    name: str, n_recoverable: int, n_irrecoverable: int, seed: int
+) -> tuple:
+    key = (name, n_recoverable, n_irrecoverable, seed)
+    state = _WORKER_STATE.get(key)
+    if state is None:
+        from .experiments import _build_topology
+
+        topo = _build_topology(name, seed)
+        rng = random.Random(seed * 7_919 + 13)
+        cache = SPTCache()
+        case_set = generate_cases(
+            topo, rng, n_recoverable, n_irrecoverable, cache=cache
+        )
+        state = (topo, case_set, cache)
+        _WORKER_STATE[key] = state
+    return state
+
+
+def _shard_worker(args) -> tuple:
+    """Run one (topology, shard) chunk and return its raw case records."""
+    name, n_rec, n_irr, seed, approaches, shard_index, n_shards = args
+    topo, case_set, cache = _worker_case_set(name, n_rec, n_irr, seed)
+    shard = shard_cases(case_set, n_shards)[shard_index]
+    runner = EvaluationRunner(
+        topo, routing=case_set.routing, approaches=approaches, sp_cache=cache
+    )
+    records = runner.run_cases(case_set, shard)
+    return name, shard_index, records
+
+
+def _gather_records(
+    topologies: Sequence[str],
+    n_recoverable: int,
+    n_irrecoverable: int,
+    seed: int,
+    approaches: Sequence[str],
+    jobs: Optional[int],
+    shards_per_topology: Optional[int],
+    chunksize: int,
+) -> Dict[str, Dict[str, List[CaseRecord]]]:
+    """Fan (topology, shard) tasks out and reassemble serial-order records."""
+    workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    n_shards = shards_per_topology if shards_per_topology is not None else workers
+    n_shards = max(1, n_shards)
+    approaches = tuple(approaches)
+    work = [
+        (name, n_recoverable, n_irrecoverable, seed, approaches, s, n_shards)
+        for name in topologies
+        for s in range(n_shards)
+    ]
+    by_shard: Dict[str, Dict[int, Dict[str, List[CaseRecord]]]] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for name, shard_index, records in pool.map(
+            _shard_worker, work, chunksize=max(1, chunksize)
+        ):
+            by_shard.setdefault(name, {})[shard_index] = records
+    merged: Dict[str, Dict[str, List[CaseRecord]]] = {}
+    for name in topologies:
+        merged[name] = {a: [] for a in approaches}
+        for s in range(n_shards):
+            for a in approaches:
+                merged[name][a].extend(by_shard[name][s][a])
+    return merged
 
 
 def parallel_table3(
@@ -81,17 +147,31 @@ def parallel_table3(
     seed: int = 0,
     approaches: Sequence[str] = ALL_APPROACHES,
     jobs: Optional[int] = None,
+    shards_per_topology: Optional[int] = None,
+    chunksize: int = 1,
 ) -> Dict[str, Dict]:
-    """Table III across topologies using a process pool."""
-    work = [(name, n_cases, seed, tuple(approaches)) for name in topologies]
+    """Table III via case-sharded process-pool execution.
+
+    Output is bit-identical to
+    :func:`~repro.eval.experiments.table3_recoverable` for the same seed.
+    """
+    merged = _gather_records(
+        topologies, n_cases, 0, seed, approaches, jobs, shards_per_topology, chunksize
+    )
     results: Dict[str, Dict] = {}
-    pooled: Dict[str, List[tuple]] = {a: [] for a in approaches}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for name, summary, rows in pool.map(_table3_worker, work):
-            results[name] = summary
-            for a in approaches:
-                pooled[a].extend(rows[a])
-    results["Overall"] = _overall_recoverable(pooled)
+    pooled: Dict[str, List[CaseRecord]] = {a: [] for a in approaches}
+    for name in topologies:
+        recoverable = {
+            a: [r for r in merged[name][a] if r.case.recoverable] for a in approaches
+        }
+        results[name] = {
+            a: summarize_recoverable(recoverable[a]).as_dict() for a in approaches
+        }
+        for a in approaches:
+            pooled[a].extend(recoverable[a])
+    results["Overall"] = {
+        a: summarize_recoverable(pooled[a]).as_dict() for a in approaches
+    }
     return results
 
 
@@ -101,28 +181,49 @@ def parallel_table4(
     seed: int = 0,
     approaches: Sequence[str] = ("RTR", "FCP"),
     jobs: Optional[int] = None,
+    shards_per_topology: Optional[int] = None,
+    chunksize: int = 1,
 ) -> Dict[str, Dict]:
-    """Table IV across topologies using a process pool."""
-    work = [(name, n_cases, seed, tuple(approaches)) for name in topologies]
+    """Table IV via case-sharded process-pool execution.
+
+    Output is bit-identical to
+    :func:`~repro.eval.experiments.table4_wasted_summary` for the same
+    seed, including the headline ``Savings`` entry.
+    """
+    merged = _gather_records(
+        topologies, 0, n_cases, seed, approaches, jobs, shards_per_topology, chunksize
+    )
     results: Dict[str, Dict] = {}
-    pooled: Dict[str, List[tuple]] = {a: [] for a in approaches}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for name, summary, rows in pool.map(_table4_worker, work):
-            results[name] = summary
-            for a in approaches:
-                pooled[a].extend(rows[a])
-    overall: Dict[str, Dict] = {}
-    for approach, rows in pooled.items():
-        sp = [c for c, _w in rows]
-        wasted = [w for _c, w in rows]
-        n = max(len(rows), 1)
-        overall[approach] = {
-            "approach": approach,
-            "cases": len(rows),
-            "avg_wasted_computation": round(sum(sp) / n, 2),
-            "max_wasted_computation": max(sp) if sp else 0,
-            "avg_wasted_transmission": round(sum(wasted) / n, 1),
-            "max_wasted_transmission": round(max(wasted), 1) if wasted else 0.0,
+    pooled: Dict[str, List[CaseRecord]] = {a: [] for a in approaches}
+    for name in topologies:
+        irrecoverable = {
+            a: [r for r in merged[name][a] if not r.case.recoverable]
+            for a in approaches
         }
-    results["Overall"] = overall
+        results[name] = {
+            a: summarize_irrecoverable(irrecoverable[a]).as_dict() for a in approaches
+        }
+        for a in approaches:
+            pooled[a].extend(irrecoverable[a])
+    overall = {a: summarize_irrecoverable(pooled[a]) for a in approaches}
+    results["Overall"] = {a: overall[a].as_dict() for a in approaches}
+    if "RTR" in overall and "FCP" in overall:
+        results["Savings"] = {
+            "computation_saved_pct": round(
+                100.0
+                * savings_ratio(
+                    overall["FCP"].avg_wasted_computation,
+                    overall["RTR"].avg_wasted_computation,
+                ),
+                1,
+            ),
+            "transmission_saved_pct": round(
+                100.0
+                * savings_ratio(
+                    overall["FCP"].avg_wasted_transmission,
+                    overall["RTR"].avg_wasted_transmission,
+                ),
+                1,
+            ),
+        }
     return results

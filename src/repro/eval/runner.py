@@ -21,7 +21,7 @@ from ..baselines import FCP, MRC, BackupConfiguration, generate_configurations
 from ..chaos import FaultPlan
 from ..core import RTR, RTRConfig
 from ..failures import FailureScenario
-from ..routing import RoutingTable
+from ..routing import RoutingTable, SPTCache
 from ..simulator import RecoveryAccounting, RecoveryResult
 from ..topology import Topology
 from .cases import CaseSet, TestCase
@@ -43,11 +43,15 @@ class EvaluationRunner:
         mrc_seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         isolate_errors: bool = True,
+        sp_cache: Optional[SPTCache] = None,
     ) -> None:
         unknown = set(approaches) - set(ALL_APPROACHES)
         if unknown:
             raise ValueError(f"unknown approaches: {sorted(unknown)}")
         self.topo = topo
+        #: Sweep-wide SPT pool shared by every per-scenario protocol
+        #: instance; pre-failure trees in particular are scenario-invariant.
+        self.sp_cache = sp_cache if sp_cache is not None else SPTCache()
         self.routing = routing if routing is not None else RoutingTable(topo)
         self.approaches = tuple(approaches)
         self.rtr_config = rtr_config
@@ -77,9 +81,12 @@ class EvaluationRunner:
                     routing=self.routing,
                     config=self.rtr_config,
                     fault_plan=self.fault_plan,
+                    sp_cache=self.sp_cache,
                 )
             elif name == "FCP":
-                protocols[name] = FCP(self.topo, scenario, routing=self.routing)
+                protocols[name] = FCP(
+                    self.topo, scenario, routing=self.routing, cache=self.sp_cache
+                )
             elif name == "MRC":
                 protocols[name] = MRC(
                     self.topo,

@@ -36,16 +36,17 @@ class LocalView:
         are not adjacent — the two mistakes need different fixes at the
         call site, so they get different exceptions.
         """
+        # Hot path: a present (node, neighbor) pair proves both nodes exist
+        # and are adjacent, and the scenario's failed links include every
+        # link of a failed router — one interned-id probe answers it all.
+        lid = self.topo.csr().pair_lid.get((node, neighbor))
+        if lid is not None:
+            return not self.scenario.failed_link_flags()[lid]
         if not self.topo.has_node(node):
             raise UnknownNodeError(node)
         if not self.topo.has_node(neighbor):
             raise UnknownNodeError(neighbor)
-        if not self.topo.has_link(node, neighbor):
-            raise UnknownLinkError(Link.of(node, neighbor))
-        return (
-            self.scenario.is_node_live(neighbor)
-            and self.scenario.is_link_live(Link.of(node, neighbor))
-        )
+        raise UnknownLinkError(Link.of(node, neighbor))
 
     def unreachable_neighbors(self, node: int) -> List[int]:
         """Neighbors ``node`` has locally detected as unreachable (cached)."""

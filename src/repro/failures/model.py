@@ -27,6 +27,7 @@ class FailureScenario:
     ) -> None:
         self.topo = topo
         self.region = region
+        self._failed_lid_flags = None
         self.failed_nodes: FrozenSet[int] = frozenset(failed_nodes)
         for node in self.failed_nodes:
             if not topo.has_node(node):
@@ -66,6 +67,21 @@ class FailureScenario:
     def is_link_live(self, link: Link) -> bool:
         """Whether ``link`` can still carry traffic."""
         return link not in self.failed_links
+
+    def failed_link_flags(self) -> bytearray:
+        """0/1 flags over interned link ids, 1 = failed (cached per CSR view).
+
+        Because ``failed_links`` includes every link incident to a failed
+        router, ``flags[lid]`` alone answers "can this adjacency carry
+        traffic" — the hot probe of local failure detection.
+        """
+        csr = self.topo.csr()
+        cached = self._failed_lid_flags
+        if cached is not None and cached[0] is csr:
+            return cached[1]
+        flags = csr.link_flags(self.failed_links)
+        self._failed_lid_flags = (csr, flags)
+        return flags
 
     def live_nodes(self) -> Set[int]:
         """All surviving nodes."""

@@ -9,11 +9,15 @@ the unavoidable O(m^2) pair check.
 
 from __future__ import annotations
 
+from math import hypot
 from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
 
-from .segment import Segment, segments_cross
+from .point import EPSILON
+from .segment import Segment
 
 LinkKey = TypeVar("LinkKey", bound=Hashable)
+
+_EPS_SQ = EPSILON * EPSILON
 
 
 def _bbox(segment: Segment) -> Tuple[float, float, float, float]:
@@ -31,6 +35,67 @@ def _bboxes_overlap(
     return not (b1[2] < b2[0] or b2[2] < b1[0] or b1[3] < b2[1] or b2[3] < b1[1])
 
 
+def _orient_raw(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> int:
+    cross = (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+    if cross > EPSILON:
+        return 1
+    if cross < -EPSILON:
+        return -1
+    return 0
+
+
+def _contains_raw(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> bool:
+    dx = bx - ax
+    dy = by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq <= _EPS_SQ:
+        cx, cy = ax, ay
+    else:
+        t = (px - ax) * dx + (py - ay) * dy
+        t /= length_sq
+        t = max(0.0, min(1.0, t))
+        cx = ax + dx * t
+        cy = ay + dy * t
+    return hypot(px - cx, py - cy) <= EPSILON
+
+
+def segments_cross_raw(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """Raw-coordinate :func:`~repro.geometry.segment.segments_cross`.
+
+    Same predicate, same float arithmetic, same tolerance checks — just
+    without Point/Segment allocation per call, for the O(m^2) cross-link
+    precomputation (asserted equivalent by tests).
+    """
+    # Segments sharing a (numerically common) endpoint never cross.  This
+    # check must come first: the tolerance-window outcomes below assume it.
+    if (
+        hypot(ax - cx, ay - cy) <= EPSILON
+        or hypot(ax - dx, ay - dy) <= EPSILON
+        or hypot(bx - cx, by - cy) <= EPSILON
+        or hypot(bx - dx, by - dy) <= EPSILON
+    ):
+        return False
+
+    o1 = _orient_raw(ax, ay, bx, by, cx, cy)
+    o2 = _orient_raw(ax, ay, bx, by, dx, dy)
+    o3 = _orient_raw(cx, cy, dx, dy, ax, ay)
+    o4 = _orient_raw(cx, cy, dx, dy, bx, by)
+    if o1 != o2 and o3 != o4 and o1 != 0 and o2 != 0 and o3 != 0 and o4 != 0:
+        return True
+
+    # An endpoint of one segment strictly inside the other also makes the
+    # interiors intersect; "strictly" is implied because shared endpoints
+    # were ruled out above.
+    if _contains_raw(ax, ay, bx, by, cx, cy) or _contains_raw(ax, ay, bx, by, dx, dy):
+        return True
+    if _contains_raw(cx, cy, dx, dy, ax, ay) or _contains_raw(cx, cy, dx, dy, bx, by):
+        return True
+    return False
+
+
 def compute_cross_links(
     links: Sequence[Tuple[LinkKey, Segment]],
 ) -> Dict[LinkKey, Set[LinkKey]]:
@@ -41,21 +106,26 @@ def compute_cross_links(
     an endpoint never cross (see :func:`repro.geometry.segment.segments_cross`).
     """
     result: Dict[LinkKey, Set[LinkKey]] = {key: set() for key, _ in links}
-    # Sort by min-x so the inner loop can stop early.
-    order = sorted(range(len(links)), key=lambda i: _bbox(links[i][1])[0])
+    # Sort by min-x so the inner loop can stop early; run the pair test on
+    # raw coordinates (the O(m^2) hot loop of topology construction).
     boxes = [_bbox(seg) for _, seg in links]
+    coords = [(seg.a.x, seg.a.y, seg.b.x, seg.b.y) for _, seg in links]
+    order = sorted(range(len(links)), key=lambda i: boxes[i][0])
     for idx, i in enumerate(order):
-        key_i, seg_i = links[i]
-        box_i = boxes[i]
+        key_i = links[i][0]
+        ax, ay, bx, by = coords[i]
+        _minx_i, miny_i, maxx_i, maxy_i = boxes[i]
+        crossings_i = result[key_i]
         for j in order[idx + 1 :]:
             box_j = boxes[j]
-            if box_j[0] > box_i[2]:
+            if box_j[0] > maxx_i:
                 break  # every later link starts right of seg_i's box
-            if not _bboxes_overlap(box_i, box_j):
-                continue
-            key_j, seg_j = links[j]
-            if segments_cross(seg_i, seg_j):
-                result[key_i].add(key_j)
+            if box_j[3] < miny_i or maxy_i < box_j[1]:
+                continue  # x-ranges overlap by construction; check y only
+            cx, cy, dx, dy = coords[j]
+            if segments_cross_raw(ax, ay, bx, by, cx, cy, dx, dy):
+                key_j = links[j][0]
+                crossings_i.add(key_j)
                 result[key_j].add(key_i)
     return result
 

@@ -76,14 +76,13 @@ def segments_intersect(s1: Segment, s2: Segment) -> bool:
 
     if o1 != o2 and o3 != o4:
         return True
-    # Collinear special cases.
-    if o1 == 0 and s1.contains_point(s2.a):
+    # Tolerance cases: an endpoint of one segment lying on the other (within
+    # EPSILON) intersects even when the orientation sign has not collapsed to
+    # zero yet — this keeps ``segments_cross`` a strict subset of this
+    # predicate for nearly-collinear configurations.
+    if s1.contains_point(s2.a) or s1.contains_point(s2.b):
         return True
-    if o2 == 0 and s1.contains_point(s2.b):
-        return True
-    if o3 == 0 and s2.contains_point(s1.a):
-        return True
-    if o4 == 0 and s2.contains_point(s1.b):
+    if s2.contains_point(s1.a) or s2.contains_point(s1.b):
         return True
     return False
 

@@ -3,11 +3,13 @@
 from .paths import Path
 from .spt import ShortestPathTree
 from .dijkstra import (
+    dijkstra_run_count,
     reverse_shortest_path_tree,
     shortest_path,
     shortest_path_or_none,
     shortest_path_tree,
 )
+from .cache import SPTCache
 from .incremental import incremental_distance, updated_tree
 from .tables import RoutingTable
 from .source_route import BYTES_PER_ENTRY, SourceRoute
@@ -17,6 +19,8 @@ from .flooding import FloodingReport, FloodingSimulator, Lsa
 __all__ = [
     "Path",
     "ShortestPathTree",
+    "SPTCache",
+    "dijkstra_run_count",
     "reverse_shortest_path_tree",
     "shortest_path",
     "shortest_path_or_none",

@@ -1,0 +1,168 @@
+"""Scenario-scoped shortest-path-tree cache.
+
+One failure scenario triggers the *same* ``G - E`` tree computation from
+many call sites: the oracle classifies every (initiator, destination)
+case against ``G - E2``, FCP recomputes from the same node with the same
+carried failure set for every destination, and RTR phase 2 starts from
+the initiator's pre-failure SPT — which is identical across *all*
+scenarios of a sweep.  An :class:`SPTCache` keys full trees by
+``(topology identity, topology version, root, orientation, exclusion
+signature)`` so each distinct tree is computed once per process instead
+of once per flow.
+
+Exclusion signatures are compact integer bitmasks over the CSR view's
+dense node indices and interned link ids — two exclusion sets collide on
+a key iff they exclude exactly the same elements of this topology.
+
+Correctness: a full tree answers every point query the early-terminating
+Dijkstra would (same distances, same parent chains — parents of settled
+nodes are frozen, and every node on a root→target chain settles before
+the target), so serving cached full trees is result-identical, not just
+approximately equal.  The §IV ``sp_computations`` accounting is a
+*recorded* charge, counted by the protocols themselves; caching the
+underlying tree never changes reported metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..errors import NoPathError
+from ..topology import Link, Topology
+from .dijkstra import _dijkstra_csr
+from .paths import Path
+from .spt import ShortestPathTree
+
+#: Default LRU capacity.  Trees are O(nodes) dicts; at catalog sizes
+#: (≤ a few hundred nodes) this bounds the cache to tens of megabytes.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+class SPTCache:
+    """LRU cache of full shortest-path trees, shared across call sites.
+
+    Returned trees are shared objects — callers must treat them as
+    immutable (``updated_tree`` already copies before mutating).
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_entries")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        # key -> (topo, tree); the topology reference pins the id() used
+        # in the key so it cannot be recycled while the entry lives.
+        self._entries: "OrderedDict[tuple, Tuple[Topology, ShortestPathTree]]" = (
+            OrderedDict()
+        )
+
+    def _tree(
+        self,
+        topo: Topology,
+        root: int,
+        toward_root: bool,
+        excluded_nodes: Optional[Iterable[int]],
+        excluded_links: Optional[Iterable[Link]],
+    ) -> ShortestPathTree:
+        csr = topo.csr()
+        node_mask = csr.node_mask(excluded_nodes) if excluded_nodes else 0
+        link_mask = csr.link_mask(excluded_links) if excluded_links else 0
+        key = (id(topo), csr.version, toward_root, root, node_mask, link_mask)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        node_excl = csr.node_flags(excluded_nodes) if excluded_nodes else None
+        link_excl = csr.link_flags(excluded_links) if excluded_links else None
+        tree = _dijkstra_csr(topo, root, toward_root, node_excl, link_excl)
+        self._entries[key] = (topo, tree)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Public queries — mirror the :mod:`repro.routing.dijkstra` wrappers
+    # ------------------------------------------------------------------
+
+    def forward_tree(
+        self,
+        topo: Topology,
+        source: int,
+        excluded_nodes: Optional[Set[int]] = None,
+        excluded_links: Optional[Set[Link]] = None,
+    ) -> ShortestPathTree:
+        """Cached equivalent of :func:`~repro.routing.shortest_path_tree`."""
+        return self._tree(topo, source, False, excluded_nodes, excluded_links)
+
+    def reverse_tree(
+        self,
+        topo: Topology,
+        destination: int,
+        excluded_nodes: Optional[Set[int]] = None,
+        excluded_links: Optional[Set[Link]] = None,
+    ) -> ShortestPathTree:
+        """Cached equivalent of :func:`~repro.routing.reverse_shortest_path_tree`."""
+        return self._tree(topo, destination, True, excluded_nodes, excluded_links)
+
+    def shortest_path(
+        self,
+        topo: Topology,
+        source: int,
+        destination: int,
+        excluded_nodes: Optional[Set[int]] = None,
+        excluded_links: Optional[Set[Link]] = None,
+    ) -> Path:
+        """Cached equivalent of :func:`~repro.routing.shortest_path`."""
+        if source == destination:
+            if excluded_nodes and source in excluded_nodes:
+                raise NoPathError(source, destination)
+            return Path((source,), 0.0)
+        tree = self.forward_tree(topo, source, excluded_nodes, excluded_links)
+        if not tree.reaches(destination):
+            raise NoPathError(source, destination)
+        return tree.path_from(destination)
+
+    def shortest_path_or_none(
+        self,
+        topo: Topology,
+        source: int,
+        destination: int,
+        excluded_nodes: Optional[Set[int]] = None,
+        excluded_links: Optional[Set[Link]] = None,
+    ) -> Optional[Path]:
+        """Cached equivalent of :func:`~repro.routing.shortest_path_or_none`."""
+        try:
+            return self.shortest_path(
+                topo, source, destination, excluded_nodes, excluded_links
+            )
+        except NoPathError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for observability and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SPTCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,8 +1,17 @@
-"""Dijkstra shortest paths with exclusion sets.
+"""Dijkstra shortest paths with exclusion sets, on the CSR kernel.
 
 The recovery algorithms never mutate the topology: they route on
 ``G - failed`` by passing exclusion sets.  This keeps one immutable
 topology shared by thousands of test cases.
+
+The inner loop runs on the flat-array :class:`~repro.topology.csr.CSRView`
+— dense integer node indices, parallel cost arrays, and per-call 0/1
+exclusion flag arrays — instead of dict lookups, ``Link.of`` construction,
+and frozenset probes.  Results are bit-identical to the dict-based
+reference implementation (asserted by the golden equivalence tests):
+nodes are interned in sorted id order so index comparisons reproduce the
+deterministic smaller-parent-id tie-break, and arcs keep the adjacency
+dict's iteration order so every tolerance-window float outcome matches.
 
 Tie-breaking is deterministic (prefer the smaller parent id), so routing
 tables and recovery paths are reproducible across runs, and hop-by-hop
@@ -12,10 +21,10 @@ equal-cost alternatives.
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, FrozenSet, Optional, Set
+from heapq import heappop, heappush
+from typing import FrozenSet, Iterable, Optional, Set
 
-from ..errors import NoPathError
+from ..errors import NoPathError, UnknownNodeError
 from ..topology import Link, Topology
 from .paths import Path
 from .spt import ShortestPathTree
@@ -23,50 +32,103 @@ from .spt import ShortestPathTree
 _EMPTY_NODES: FrozenSet[int] = frozenset()
 _EMPTY_LINKS: FrozenSet[Link] = frozenset()
 
+_INF = float("inf")
 
-def _dijkstra(
+#: Total CSR Dijkstra executions in this process — cheap observability for
+#: the benchmark harness (``BENCH_core.json`` records per-bench deltas).
+_RUN_COUNT = 0
+
+
+def dijkstra_run_count() -> int:
+    """Number of Dijkstra kernel runs performed by this process so far."""
+    return _RUN_COUNT
+
+
+def _dijkstra_csr(
     topo: Topology,
     root: int,
     toward_root: bool,
-    excluded_nodes: FrozenSet[int],
-    excluded_links: FrozenSet[Link],
+    node_excl: Optional[bytearray],
+    link_excl: Optional[bytearray],
     target: Optional[int] = None,
 ) -> ShortestPathTree:
-    """Core Dijkstra.
+    """Core Dijkstra on the CSR view with prebuilt exclusion flags.
 
     ``toward_root=False`` relaxes edges in direction root -> neighbor using
     ``cost(u, v)``; ``toward_root=True`` computes node -> root distances by
     relaxing with ``cost(v, u)`` (the cost of *entering* the settled node).
     Stops early when ``target`` is settled.
     """
-    dist: Dict[int, float] = {root: 0.0}
-    parent: Dict[int, Optional[int]] = {root: None}
-    settled: Set[int] = set()
-    heap = [(0.0, root)]
+    global _RUN_COUNT
+    _RUN_COUNT += 1
+    csr = topo.csr()
+    pos = csr.pos
+    root_index = pos.get(root)
+    if root_index is None:
+        raise UnknownNodeError(root)
+    target_index = pos.get(target, -1) if target is not None else -1
+
+    indptr = csr.indptr
+    nbr = csr.nbr
+    weight = csr.wrev if toward_root else csr.wfwd
+    lid = csr.lid
+
+    n = csr.n
+    dist = [_INF] * n
+    parent = [-1] * n
+    settled = bytearray(n)
+    dist[root_index] = 0.0
+    heap = [(0.0, root_index)]
     while heap:
-        d, u = heapq.heappop(heap)
-        if u in settled:
+        d, u = heappop(heap)
+        if settled[u]:
             continue
-        settled.add(u)
-        if u == target:
+        settled[u] = 1
+        if u == target_index:
             break
-        for v in topo.neighbors(u):
-            if v in settled or v in excluded_nodes:
+        for i in range(indptr[u], indptr[u + 1]):
+            v = nbr[i]
+            if settled[v]:
                 continue
-            if excluded_links and Link.of(u, v) in excluded_links:
+            if node_excl is not None and node_excl[v]:
                 continue
-            step = topo.cost(v, u) if toward_root else topo.cost(u, v)
-            candidate = d + step
-            known = dist.get(v)
-            if known is None or candidate < known - 1e-12:
+            if link_excl is not None and link_excl[lid[i]]:
+                continue
+            candidate = d + weight[i]
+            known = dist[v]
+            if candidate < known - 1e-12:
                 dist[v] = candidate
                 parent[v] = u
-                heapq.heappush(heap, (candidate, v))
-            elif known is not None and abs(candidate - known) <= 1e-12:
-                # Deterministic tie-break: keep the smaller parent id.
-                if u < parent[v]:  # type: ignore[operator]
-                    parent[v] = u
-    return ShortestPathTree(root, dist, parent, toward_root)
+                heappush(heap, (candidate, v))
+            elif candidate <= known + 1e-12 and u < parent[v]:
+                # Deterministic tie-break: keep the smaller parent id
+                # (index order equals id order by construction).
+                parent[v] = u
+    ids = csr.ids
+    dist_map = {}
+    parent_map = {}
+    for i in range(n):
+        d = dist[i]
+        if d != _INF:
+            dist_map[ids[i]] = d
+            p = parent[i]
+            parent_map[ids[i]] = ids[p] if p >= 0 else None
+    return ShortestPathTree(root, dist_map, parent_map, toward_root)
+
+
+def _dijkstra(
+    topo: Topology,
+    root: int,
+    toward_root: bool,
+    excluded_nodes: Iterable[int],
+    excluded_links: Iterable[Link],
+    target: Optional[int] = None,
+) -> ShortestPathTree:
+    """Core Dijkstra with set-typed exclusions (compatibility shim)."""
+    csr = topo.csr()
+    node_excl = csr.node_flags(excluded_nodes) if excluded_nodes else None
+    link_excl = csr.link_flags(excluded_links) if excluded_links else None
+    return _dijkstra_csr(topo, root, toward_root, node_excl, link_excl, target)
 
 
 def shortest_path_tree(
@@ -80,8 +142,8 @@ def shortest_path_tree(
         topo,
         source,
         toward_root=False,
-        excluded_nodes=frozenset(excluded_nodes) if excluded_nodes else _EMPTY_NODES,
-        excluded_links=frozenset(excluded_links) if excluded_links else _EMPTY_LINKS,
+        excluded_nodes=excluded_nodes or _EMPTY_NODES,
+        excluded_links=excluded_links or _EMPTY_LINKS,
     )
 
 
@@ -102,8 +164,8 @@ def reverse_shortest_path_tree(
         topo,
         destination,
         toward_root=True,
-        excluded_nodes=frozenset(excluded_nodes) if excluded_nodes else _EMPTY_NODES,
-        excluded_links=frozenset(excluded_links) if excluded_links else _EMPTY_LINKS,
+        excluded_nodes=excluded_nodes or _EMPTY_NODES,
+        excluded_links=excluded_links or _EMPTY_LINKS,
     )
 
 
@@ -119,13 +181,18 @@ def shortest_path(
     Uses early-terminating Dijkstra from the source.
     """
     if source == destination:
+        # The zero-hop path exists only if the node itself is usable: an
+        # excluded source/destination can reach nothing, not even itself
+        # (consistency with the exclusion contract of the non-trivial case).
+        if excluded_nodes and source in excluded_nodes:
+            raise NoPathError(source, destination)
         return Path((source,), 0.0)
     tree = _dijkstra(
         topo,
         source,
         toward_root=False,
-        excluded_nodes=frozenset(excluded_nodes) if excluded_nodes else _EMPTY_NODES,
-        excluded_links=frozenset(excluded_links) if excluded_links else _EMPTY_LINKS,
+        excluded_nodes=excluded_nodes or _EMPTY_NODES,
+        excluded_links=excluded_links or _EMPTY_LINKS,
         target=destination,
     )
     if not tree.reaches(destination):

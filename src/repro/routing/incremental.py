@@ -15,6 +15,11 @@ guarantee RTR's phase 2 relies on.
 Only deletions can occur during a failure event, and deleting a *non-tree*
 link never changes any distance — so the affected set is precisely the
 subtree hanging below the removed tree edges and removed nodes.
+
+Like the core Dijkstra, the relax loops run on the flat-array CSR view:
+removed links become a 0/1 flag array over interned link ids, removed
+nodes a flag array over dense node indices, and neighbor iteration walks
+the parallel arc arrays instead of re-deriving ``Link`` objects.
 """
 
 from __future__ import annotations
@@ -47,11 +52,22 @@ def updated_tree(
     the result.  Affected nodes that cannot be reattached become
     unreachable (absent from ``dist``).
     """
-    removed_link_set: Set[Link] = set(removed_links)
+    csr = topo.csr()
+    pos, ids = csr.pos, csr.ids
+    indptr, nbr, lid = csr.indptr, csr.nbr, csr.lid
+    wfwd, wrev = csr.wfwd, csr.wrev
+    pair_lid = csr.pair_lid
+
     removed_node_set: Set[int] = set(removed_nodes)
+    removed_link_flags = csr.link_flags(removed_links)
+    node_removed = bytearray(csr.n)
     for node in removed_node_set:
-        if topo.has_node(node):
-            removed_link_set.update(topo.incident_links(node))
+        i = pos.get(node)
+        if i is None:
+            continue
+        node_removed[i] = 1
+        for arc in range(indptr[i], indptr[i + 1]):
+            removed_link_flags[lid[arc]] = 1
 
     new = tree.copy()
     if new.root in removed_node_set:
@@ -63,7 +79,7 @@ def updated_tree(
     for node, parent in new.parent.items():
         if parent is None:
             continue
-        if Link.of(node, parent) in removed_link_set:
+        if removed_link_flags[pair_lid[(node, parent)]]:
             directly_affected.add(node)
 
     if not directly_affected:
@@ -90,10 +106,9 @@ def updated_tree(
     heap: List[tuple] = []
     best: Dict[int, float] = {}
     best_parent: Dict[int, int] = {}
+    intact_dist = new.dist
 
-    def relax(node: int, via: int, base: float) -> None:
-        step = topo.cost(node, via) if toward_root else topo.cost(via, node)
-        candidate = base + step
+    def relax(node: int, via: int, candidate: float) -> None:
         known = best.get(node)
         if known is None or candidate < known - 1e-12:
             best[node] = candidate
@@ -103,14 +118,23 @@ def updated_tree(
             best_parent[node] = via
 
     for node in affected:
-        for nb in topo.neighbors(node):
-            if nb in removed_node_set or nb in affected:
+        u = pos[node]
+        for arc in range(indptr[u], indptr[u + 1]):
+            v = nbr[arc]
+            if node_removed[v]:
                 continue
-            if Link.of(node, nb) in removed_link_set:
+            via = ids[v]
+            if via in affected:
                 continue
-            if nb not in new.dist:
+            if removed_link_flags[lid[arc]]:
+                continue
+            base = intact_dist.get(via)
+            if base is None:
                 continue  # neighbor was already unreachable pre-failure
-            relax(node, nb, new.dist[nb])
+            # Arc node -> via: entering cost toward the root is
+            # cost(node, via) = wfwd; away from it cost(via, node) = wrev.
+            step = wfwd[arc] if toward_root else wrev[arc]
+            relax(node, via, base + step)
 
     settled: Set[int] = set()
     while heap:
@@ -120,12 +144,21 @@ def updated_tree(
         settled.add(node)
         new.dist[node] = d
         new.parent[node] = best_parent[node]
-        for nb in topo.neighbors(node):
-            if nb not in affected or nb in settled or nb in removed_node_set:
+        u = pos[node]
+        for arc in range(indptr[u], indptr[u + 1]):
+            v = nbr[arc]
+            if node_removed[v]:
                 continue
-            if Link.of(node, nb) in removed_link_set:
+            neighbor = ids[v]
+            if neighbor not in affected or neighbor in settled:
                 continue
-            relax(nb, node, d)
+            if removed_link_flags[lid[arc]]:
+                continue
+            # Relaxing neighbor via node: entering cost of the neighbor is
+            # cost(neighbor, node) = wrev of this arc toward the root,
+            # cost(node, neighbor) = wfwd away from it.
+            step = wrev[arc] if toward_root else wfwd[arc]
+            relax(neighbor, node, d + step)
     return new
 
 

@@ -14,16 +14,22 @@ from typing import Dict, Iterator, Optional
 
 from ..errors import UnknownNodeError
 from ..topology import Topology
+from .cache import SPTCache
 from .dijkstra import reverse_shortest_path_tree
 from .paths import Path
 from .spt import ShortestPathTree
 
 
 class RoutingTable:
-    """Lazily computed all-pairs next hops over one topology snapshot."""
+    """Lazily computed all-pairs next hops over one topology snapshot.
 
-    def __init__(self, topo: Topology) -> None:
+    An optional shared :class:`~repro.routing.cache.SPTCache` lets several
+    tables (and the recovery protocols) reuse one pool of trees.
+    """
+
+    def __init__(self, topo: Topology, cache: Optional[SPTCache] = None) -> None:
         self.topo = topo
+        self._cache = cache
         self._trees: Dict[int, ShortestPathTree] = {}
 
     def tree_to(self, destination: int) -> ShortestPathTree:
@@ -32,7 +38,10 @@ class RoutingTable:
             raise UnknownNodeError(destination)
         tree = self._trees.get(destination)
         if tree is None:
-            tree = reverse_shortest_path_tree(self.topo, destination)
+            if self._cache is not None:
+                tree = self._cache.reverse_tree(self.topo, destination)
+            else:
+                tree = reverse_shortest_path_tree(self.topo, destination)
             self._trees[destination] = tree
         return tree
 

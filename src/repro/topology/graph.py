@@ -14,10 +14,13 @@ per-link *cross-link* sets that §III-C says routers precompute.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NamedTuple, Optional, Set
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set, TYPE_CHECKING
 
 from ..errors import TopologyError, UnknownLinkError, UnknownNodeError
 from ..geometry import Point, Segment, compute_cross_links
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from .csr import CSRView
 
 
 class Link(NamedTuple):
@@ -67,6 +70,9 @@ class Topology:
         self._link_index: Dict[Link, int] = {}
         self._links: List[Link] = []
         self._cross_links: Optional[Dict[Link, Set[Link]]] = None
+        #: Bumped on every structural mutation; keys the CSR view cache.
+        self._version: int = 0
+        self._csr: Optional["CSRView"] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +86,7 @@ class Topology:
         self._coords[node] = position
         self._adjacency.setdefault(node, {})
         self._cross_links = None
+        self._version += 1
 
     def add_link(
         self, a: int, b: int, cost: float = 1.0, reverse_cost: Optional[float] = None
@@ -102,6 +109,7 @@ class Topology:
         self._link_index[link] = len(self._links)
         self._links.append(link)
         self._cross_links = None
+        self._version += 1
         return link
 
     def remove_link(self, a: int, b: int) -> None:
@@ -119,6 +127,25 @@ class Topology:
         index = self._link_index.pop(link)
         self._links[index] = None  # type: ignore[call-overload]
         self._cross_links = None
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Compact view
+    # ------------------------------------------------------------------
+
+    def csr(self) -> "CSRView":
+        """The flat-array adjacency view of this snapshot (cached).
+
+        Rebuilt lazily after any structural mutation; all routing kernels
+        (Dijkstra, incremental SPT updates, connectivity) run on this view.
+        """
+        csr = self._csr
+        if csr is None or csr.version != self._version:
+            from .csr import CSRView
+
+            csr = CSRView(self, self._version)
+            self._csr = csr
+        return csr
 
     # ------------------------------------------------------------------
     # Queries
@@ -239,22 +266,31 @@ class Topology:
         """Connected component containing ``start``, honouring exclusions."""
         if start not in self._adjacency:
             raise UnknownNodeError(start)
-        excluded_nodes = excluded_nodes or set()
-        excluded_links = excluded_links or set()
-        if start in excluded_nodes:
+        if excluded_nodes and start in excluded_nodes:
             return set()
-        seen = {start}
-        stack = [start]
+        csr = self.csr()
+        node_excl = csr.node_flags(excluded_nodes) if excluded_nodes else None
+        link_excl = csr.link_flags(excluded_links) if excluded_links else None
+        indptr, nbr, lid, ids = csr.indptr, csr.nbr, csr.lid, csr.ids
+        seen = bytearray(csr.n)
+        root = csr.pos[start]
+        seen[root] = 1
+        stack = [root]
+        members = {start}
         while stack:
-            node = stack.pop()
-            for nb in self._adjacency[node]:
-                if nb in seen or nb in excluded_nodes:
+            u = stack.pop()
+            for i in range(indptr[u], indptr[u + 1]):
+                v = nbr[i]
+                if seen[v]:
                     continue
-                if Link.of(node, nb) in excluded_links:
+                if node_excl is not None and node_excl[v]:
                     continue
-                seen.add(nb)
-                stack.append(nb)
-        return seen
+                if link_excl is not None and link_excl[lid[i]]:
+                    continue
+                seen[v] = 1
+                members.add(ids[v])
+                stack.append(v)
+        return members
 
     def is_connected(self) -> bool:
         """Whether the whole topology is one connected component."""

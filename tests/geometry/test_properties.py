@@ -15,6 +15,7 @@ from repro.geometry import (
     segments_cross,
     segments_intersect,
 )
+from repro.geometry.planarity import segments_cross_raw
 
 coords = st.floats(
     min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
@@ -55,6 +56,14 @@ class TestSegmentProperties:
         d = s.distance_to_point(p)
         assert d <= p.distance_to(s.a) + 1e-9
         assert d <= p.distance_to(s.b) + 1e-9
+
+    @given(segments, segments)
+    def test_raw_cross_matches_segment_cross(self, s1, s2):
+        # The allocation-free predicate used by compute_cross_links must be
+        # the same function, bit for bit, as the Point/Segment original.
+        assert segments_cross_raw(
+            s1.a.x, s1.a.y, s1.b.x, s1.b.y, s2.a.x, s2.a.y, s2.b.x, s2.b.y
+        ) == segments_cross(s1, s2)
 
 
 class TestAngleProperties:

@@ -1,0 +1,112 @@
+"""Tests for repro.routing.cache (the scenario-scoped SPT cache)."""
+
+import random
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.routing import (
+    SPTCache,
+    reverse_shortest_path_tree,
+    shortest_path,
+    shortest_path_tree,
+)
+from repro.topology import Link, geometric_isp
+
+
+@pytest.fixture
+def topo():
+    return geometric_isp(n_nodes=30, n_links=55, rng=random.Random(3))
+
+
+class TestCacheCorrectness:
+    def test_trees_match_uncached(self, topo):
+        cache = SPTCache()
+        for root in list(topo.nodes())[:5]:
+            cached = cache.forward_tree(topo, root)
+            fresh = shortest_path_tree(topo, root)
+            assert cached.dist == fresh.dist
+            assert cached.parent == fresh.parent
+            cached_rev = cache.reverse_tree(topo, root)
+            fresh_rev = reverse_shortest_path_tree(topo, root)
+            assert cached_rev.dist == fresh_rev.dist
+            assert cached_rev.parent == fresh_rev.parent
+
+    def test_exclusions_key_separately(self, topo):
+        cache = SPTCache()
+        root = next(iter(topo.nodes()))
+        link = next(iter(topo.links()))
+        plain = cache.forward_tree(topo, root)
+        cut = cache.forward_tree(topo, root, excluded_links={link})
+        assert plain is not cut
+        fresh = shortest_path_tree(topo, root, excluded_links={link})
+        assert cut.dist == fresh.dist
+
+    def test_shortest_path_matches_uncached(self, topo):
+        cache = SPTCache()
+        nodes = sorted(topo.nodes())
+        for source, destination in [(nodes[0], nodes[-1]), (nodes[3], nodes[7])]:
+            cached = cache.shortest_path(topo, source, destination)
+            fresh = shortest_path(topo, source, destination)
+            assert tuple(cached.nodes) == tuple(fresh.nodes)
+            assert cached.cost == fresh.cost
+
+    def test_zero_hop_excluded_source_raises(self, topo):
+        # The cache replicates the exclusion contract of shortest_path.
+        cache = SPTCache()
+        node = next(iter(topo.nodes()))
+        with pytest.raises(NoPathError):
+            cache.shortest_path(topo, node, node, excluded_nodes={node})
+        assert (
+            cache.shortest_path_or_none(topo, node, node, excluded_nodes={node})
+            is None
+        )
+
+
+class TestCacheBehavior:
+    def test_hit_returns_same_object(self, topo):
+        cache = SPTCache()
+        root = next(iter(topo.nodes()))
+        first = cache.forward_tree(topo, root)
+        second = cache.forward_tree(topo, root)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_orientations_do_not_collide(self, topo):
+        cache = SPTCache()
+        root = next(iter(topo.nodes()))
+        forward = cache.forward_tree(topo, root)
+        reverse = cache.reverse_tree(topo, root)
+        assert forward is not reverse
+        assert len(cache) == 2
+
+    def test_lru_eviction(self, topo):
+        cache = SPTCache(max_entries=2)
+        nodes = sorted(topo.nodes())
+        cache.forward_tree(topo, nodes[0])
+        cache.forward_tree(topo, nodes[1])
+        cache.forward_tree(topo, nodes[2])  # evicts nodes[0]
+        assert len(cache) == 2
+        cache.forward_tree(topo, nodes[0])
+        assert cache.misses == 4  # recomputed after eviction
+
+    def test_topology_mutation_invalidates(self, topo):
+        cache = SPTCache()
+        nodes = sorted(topo.nodes())
+        root = nodes[0]
+        before = cache.forward_tree(topo, root)
+        # Any mutation bumps the version, so the old entry cannot be served.
+        u, v = nodes[0], nodes[1]
+        if not topo.has_link(u, v):
+            topo.add_link(u, v)
+        else:
+            topo.remove_link(u, v)
+        after = cache.forward_tree(topo, root)
+        assert after is not before
+        assert cache.misses == 2
+
+    def test_clear(self, topo):
+        cache = SPTCache()
+        cache.forward_tree(topo, next(iter(topo.nodes())))
+        cache.clear()
+        assert len(cache) == 0

@@ -35,6 +35,15 @@ class TestShortestPath:
         assert path.hop_count == 0
         assert path.cost == 0.0
 
+    def test_source_equals_destination_excluded_raises(self, tiny_line):
+        # Regression: the zero-hop case used to bypass the exclusion
+        # contract and return a Path even for an excluded source.
+        with pytest.raises(NoPathError):
+            shortest_path(tiny_line, 1, 1, excluded_nodes={1})
+        assert shortest_path_or_none(tiny_line, 1, 1, excluded_nodes={1}) is None
+        # A non-excluded source keeps the zero-hop path.
+        assert shortest_path(tiny_line, 1, 1, excluded_nodes={0}).hop_count == 0
+
     def test_no_path_raises(self, tiny_line):
         tiny_line.remove_link(0, 1)
         with pytest.raises(NoPathError):

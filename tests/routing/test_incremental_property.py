@@ -1,0 +1,106 @@
+"""Property test: incremental SPT updates ≡ full Dijkstra (satellite of §III-D).
+
+Randomized link-failure batches on two catalog topologies (AS1239 sparse,
+AS209 mid-density).  The incrementally updated tree must match a fresh
+Dijkstra on ``G - removed`` exactly: same reachable set, same distances,
+same parents — i.e. the same deterministic tie-breaks — in both tree
+orientations.  Next hops are a projection of the parent map, so parent
+equality covers them; the reverse-tree case asserts them explicitly
+anyway because that is what routing tables actually read.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    reverse_shortest_path_tree,
+    shortest_path_tree,
+    updated_tree,
+)
+from repro.topology import isp_catalog
+
+TOPOLOGIES = {name: isp_catalog.build(name) for name in ("AS1239", "AS209")}
+ALL_LINKS = {name: sorted(topo.links()) for name, topo in TOPOLOGIES.items()}
+
+
+def link_batches(name):
+    n_links = len(ALL_LINKS[name])
+    return st.lists(
+        st.integers(min_value=0, max_value=n_links - 1),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    )
+
+
+def assert_exact_match(incremental, fresh, removed_nodes=()):
+    fresh_dist = {n: d for n, d in fresh.dist.items() if n not in removed_nodes}
+    assert incremental.dist == fresh_dist
+    fresh_parent = {n: p for n, p in fresh.parent.items() if n not in removed_nodes}
+    assert incremental.parent == fresh_parent
+
+
+class TestIncrementalMatchesFullDijkstra:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @given(indices=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_forward_tree_under_link_batches(self, name, indices):
+        topo = TOPOLOGIES[name]
+        batch = indices.draw(link_batches(name), label="removed link indices")
+        removed = [ALL_LINKS[name][i] for i in batch]
+        root = sorted(topo.nodes())[0]
+        base = shortest_path_tree(topo, root)
+        incremental = updated_tree(topo, base, removed_links=removed)
+        fresh = shortest_path_tree(topo, root, excluded_links=set(removed))
+        assert_exact_match(incremental, fresh)
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @given(indices=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_reverse_tree_under_link_batches(self, name, indices):
+        topo = TOPOLOGIES[name]
+        batch = indices.draw(link_batches(name), label="removed link indices")
+        removed = [ALL_LINKS[name][i] for i in batch]
+        root = sorted(topo.nodes())[-1]
+        base = reverse_shortest_path_tree(topo, root)
+        incremental = updated_tree(topo, base, removed_links=removed)
+        fresh = reverse_shortest_path_tree(topo, root, excluded_links=set(removed))
+        assert_exact_match(incremental, fresh)
+        # Routing tables read next hops off reverse trees; spell it out.
+        for node in fresh.dist:
+            if node != root:
+                assert incremental.next_hop(node) == fresh.next_hop(node)
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @given(indices=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_node_and_link_batches_together(self, name, indices):
+        topo = TOPOLOGIES[name]
+        nodes = sorted(topo.nodes())
+        batch = indices.draw(link_batches(name), label="removed link indices")
+        removed_links = [ALL_LINKS[name][i] for i in batch]
+        node_count = indices.draw(
+            st.integers(min_value=1, max_value=4), label="removed node count"
+        )
+        removed_nodes = indices.draw(
+            st.lists(
+                st.sampled_from(nodes[1:]),
+                min_size=node_count,
+                max_size=node_count,
+                unique=True,
+            ),
+            label="removed nodes",
+        )
+        root = nodes[0]
+        base = shortest_path_tree(topo, root)
+        incremental = updated_tree(
+            topo, base, removed_links=removed_links, removed_nodes=removed_nodes
+        )
+        fresh = shortest_path_tree(
+            topo,
+            root,
+            excluded_nodes=set(removed_nodes),
+            excluded_links=set(removed_links),
+        )
+        assert_exact_match(incremental, fresh, removed_nodes=set(removed_nodes))

@@ -1,0 +1,121 @@
+"""Tests for repro.topology.csr (the flat-array adjacency view)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.topology import Link, Topology, isp_catalog
+
+
+def square():
+    topo = Topology("square")
+    for i, xy in enumerate([(0, 0), (10, 0), (10, 10), (0, 10)]):
+        topo.add_node(i, Point(*xy))
+    topo.add_link(0, 1, cost=1, reverse_cost=2)
+    topo.add_link(1, 2, cost=3, reverse_cost=4)
+    topo.add_link(2, 3, cost=5, reverse_cost=6)
+    topo.add_link(3, 0, cost=7, reverse_cost=8)
+    return topo
+
+
+class TestCSRStructure:
+    def test_nodes_interned_in_sorted_id_order(self):
+        topo = Topology("unordered")
+        for node, xy in [(9, (0, 0)), (2, (1, 0)), (5, (2, 0))]:
+            topo.add_node(node, Point(*xy))
+        topo.add_link(9, 2)
+        topo.add_link(2, 5)
+        csr = topo.csr()
+        assert csr.ids == [2, 5, 9]
+        assert csr.pos == {2: 0, 5: 1, 9: 2}
+
+    def test_arc_slices_match_adjacency(self):
+        topo = square()
+        csr = topo.csr()
+        for u in topo.nodes():
+            i = csr.pos[u]
+            arc_neighbors = [csr.ids[csr.nbr[a]] for a in range(csr.indptr[i], csr.indptr[i + 1])]
+            assert arc_neighbors == list(topo.neighbors(u))
+
+    def test_directed_costs_per_arc(self):
+        topo = square()
+        csr = topo.csr()
+        for u in topo.nodes():
+            i = csr.pos[u]
+            for a in range(csr.indptr[i], csr.indptr[i + 1]):
+                v = csr.ids[csr.nbr[a]]
+                assert csr.wfwd[a] == topo.cost(u, v)
+                assert csr.wrev[a] == topo.cost(v, u)
+
+    def test_pair_lid_is_symmetric_and_matches_link_index(self):
+        topo = square()
+        csr = topo.csr()
+        for link in topo.links():
+            index = topo.link_index(link)
+            assert csr.pair_lid[(link.u, link.v)] == index
+            assert csr.pair_lid[(link.v, link.u)] == index
+            assert csr.link_id(link.u, link.v) == index
+
+    def test_view_cached_until_mutation(self):
+        topo = square()
+        first = topo.csr()
+        assert topo.csr() is first
+        topo.add_node(99, Point(5, 5))
+        topo.add_link(99, 0)
+        second = topo.csr()
+        assert second is not first
+        assert second.version > first.version
+        assert 99 in second.pos
+
+    def test_removed_link_keeps_lid_indexable(self):
+        # Retired header link ids stay within lid_size so old flag arrays
+        # cannot go out of range.
+        topo = square()
+        before = topo.csr().lid_size
+        topo.remove_link(0, 1)
+        csr = topo.csr()
+        assert csr.lid_size == before
+        assert (0, 1) not in csr.pair_lid
+
+
+class TestExclusionFlagsAndMasks:
+    def test_node_flags(self):
+        topo = square()
+        csr = topo.csr()
+        flags = csr.node_flags({1, 3})
+        assert [bool(b) for b in flags] == [False, True, False, True]
+
+    def test_unknown_ids_ignored(self):
+        topo = square()
+        csr = topo.csr()
+        assert csr.node_flags({77}) == bytearray(csr.n)
+        assert csr.link_flags({Link.of(77, 78)}) == bytearray(csr.lid_size)
+
+    def test_link_flags_both_orientations(self):
+        topo = square()
+        csr = topo.csr()
+        assert csr.link_flags({Link.of(0, 1)}) == csr.link_flags({Link.of(1, 0)})
+        assert sum(csr.link_flags({Link.of(0, 1)})) == 1
+
+    def test_masks_distinguish_exclusion_sets(self):
+        topo = square()
+        csr = topo.csr()
+        masks = {
+            csr.node_mask(set()),
+            csr.node_mask({0}),
+            csr.node_mask({1}),
+            csr.node_mask({0, 1}),
+        }
+        assert len(masks) == 4
+        assert csr.link_mask({Link.of(0, 1)}) == csr.link_mask({Link.of(1, 0)})
+        assert csr.link_mask({Link.of(0, 1)}) != csr.link_mask({Link.of(1, 2)})
+
+
+class TestCatalogConsistency:
+    @pytest.mark.parametrize("name", isp_catalog.names()[:2])
+    def test_every_arc_accounted_for(self, name):
+        topo = isp_catalog.build(name)
+        csr = topo.csr()
+        assert csr.n == topo.node_count
+        assert len(csr.nbr) == 2 * topo.link_count
+        assert csr.indptr[-1] == len(csr.nbr)
+        assert len(csr.wfwd) == len(csr.wrev) == len(csr.lid) == len(csr.nbr)
