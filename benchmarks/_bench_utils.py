@@ -70,21 +70,34 @@ def record_bench(
     cases: int,
     sp_computations: int,
     git_sha: Optional[str] = None,
+    config_hash: Optional[str] = None,
+    cache_hit_rate: Optional[float] = None,
+    span_ms: Optional[Dict[str, float]] = None,
 ) -> dict:
     """Merge one benchmark measurement into ``BENCH_core.json``.
 
     Keyed by bench name so each run refreshes its own entry and leaves the
     rest of the trajectory untouched.  ``sp_computations`` is the process
     delta of :func:`repro.routing.dijkstra_run_count` — the denominator
-    that makes wall-clock comparable across machines.
+    that makes wall-clock comparable across machines.  ``config_hash``
+    ties the row to the run manifest (:func:`repro.obs.config_hash` of
+    the bench parameters); ``cache_hit_rate`` and ``span_ms`` come from
+    an instrumented harvest run, when one was performed.
     """
     data = load_bench_json()
-    data[name] = {
+    entry = {
         "wall_s": round(wall_s, 4),
         "cases": cases,
         "sp_computations": sp_computations,
         "python": platform.python_version(),
         "git_sha": git_sha if git_sha is not None else _git_sha(),
     }
+    if config_hash is not None:
+        entry["config_hash"] = config_hash
+    if cache_hit_rate is not None:
+        entry["cache_hit_rate"] = round(cache_hit_rate, 4)
+    if span_ms is not None:
+        entry["span_ms"] = {k: round(v, 3) for k, v in sorted(span_ms.items())}
+    data[name] = entry
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return data[name]

@@ -22,6 +22,7 @@ import pytest
 
 from _bench_utils import BASE_CASES, record_bench
 
+from repro.obs import config_hash
 from repro.routing import dijkstra_run_count
 
 
@@ -48,6 +49,7 @@ def run_once(benchmark, request):
             wall_s=wall_s,
             cases=int(kwargs.get("n_cases", BASE_CASES)),
             sp_computations=dijkstra_run_count() - sp_before,
+            config_hash=config_hash({"bench": name, "args": args, **kwargs}),
         )
         return result
 

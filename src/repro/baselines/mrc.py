@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import SimulationError, UnknownNodeError
 from ..failures import FailureScenario, LocalView
 from ..routing import Path, RoutingTable
@@ -104,6 +105,16 @@ def _weighted_reverse_tree(
     ids (cached on the configuration); node-index comparisons equal id
     comparisons, so the smaller-next-hop tie-break is unchanged.
     """
+    if not obs.enabled():
+        return _weighted_reverse_tree_kernel(topo, destination, config)
+    with obs.span("mrc.weighted_tree"):
+        obs.inc("mrc.weighted_tree_runs")
+        return _weighted_reverse_tree_kernel(topo, destination, config)
+
+
+def _weighted_reverse_tree_kernel(
+    topo: Topology, destination: int, config: BackupConfiguration
+) -> Dict[int, int]:
     import heapq
 
     csr = topo.csr()
@@ -168,6 +179,13 @@ def generate_configurations(
     simply unrecoverable for MRC, one reason its recovery rate collapses
     under large-scale failures (Table III).
     """
+    with obs.span("mrc.generate_configurations"):
+        return _generate_configurations(topo, n_configs, seed, max_attempts)
+
+
+def _generate_configurations(
+    topo: Topology, n_configs: int, seed: int, max_attempts: int
+) -> List[BackupConfiguration]:
     rng = random.Random(seed)
     best: Optional[List[BackupConfiguration]] = None
     best_unprotected = None

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..failures import LocalView
 from ..simulator import DEFAULT_DELAY_MODEL, Mode, Packet
 from ..simulator.delays import DelayModel
@@ -29,6 +30,8 @@ from ..simulator.stats import RecoveryAccounting
 from ..simulator.trace import ForwardingTrace
 from ..topology import Link, Topology
 from .runtime import ChaosRuntime
+
+log = obs.get_logger(__name__)
 
 
 class ChaosForwardingEngine(ForwardingEngine):
@@ -74,6 +77,19 @@ def _truncate_header(packet: Packet) -> None:
     """
     header = packet.header
     if header.failed_links:
-        header.failed_links.pop()
+        dropped = header.failed_links.pop()
+        kind = "failed-link"
     elif header.cross_links:
-        header.cross_links.pop()
+        dropped = header.cross_links.pop()
+        kind = "cross-link"
+    else:
+        return
+    log.warning(
+        "chaos truncated %s entry %s from recovery header at node %s "
+        "(packet %s -> %s)",
+        kind,
+        dropped,
+        packet.at,
+        packet.source,
+        packet.destination,
+    )

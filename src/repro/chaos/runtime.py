@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
+from .. import obs
 from ..errors import ChaosError
 from ..failures import FailureScenario
 from ..topology import Link
@@ -87,6 +88,7 @@ class ChaosRuntime:
         while self._pending and self._pending[0][0] <= self.hops:
             _, link = self._pending.pop(0)
             self.flapped_links.add(link)
+            obs.inc("chaos.secondary_activated")
             lid = self.scenario.topo.csr().pair_lid.get((link.u, link.v))
             if lid is not None:
                 self.flapped_lids.add(lid)
@@ -107,6 +109,7 @@ class ChaosRuntime:
         lost = self._loss_rng.random() < rate
         if lost:
             self.packets_lost += 1
+            obs.inc("chaos.packets_lost")
         return lost
 
     def sample_header_corruption(self) -> bool:
@@ -117,6 +120,7 @@ class ChaosRuntime:
         corrupted = self._corruption_rng.random() < rate
         if corrupted:
             self.headers_corrupted += 1
+            obs.inc("chaos.headers_corrupted")
         return corrupted
 
     def pending_secondary_failures(self) -> List[Tuple[int, Link]]:

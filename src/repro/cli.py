@@ -8,18 +8,24 @@ Subcommands:
 * ``recover`` — run one recovery episode and print the trace;
 * ``eval <experiment>`` — regenerate one table/figure (table2, fig7,
   table3, fig8, fig9, fig10, fig11, fig12, fig13, table4);
+* ``obs report`` — render the manifest/metrics/span breakdown of an
+  instrumented run (``REPRO_OBS=1 repro eval ...`` writes one);
 * ``render`` — draw a topology/failure/recovery episode as SVG.
+
+Logging: the ``repro`` logger hierarchy is silent by default; ``--log``
+(or ``REPRO_LOG=INFO``) attaches a stderr handler at the given level.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from . import __version__
+from . import __version__, obs
 from .core import RTR
 from .failures import FailureScenario, LocalView, random_circle
 from .geometry import Circle, Point
@@ -125,13 +131,28 @@ def _pick_pair(args, topo, scenario, rtr, view):
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
-    from .eval import experiments
-    from .eval.report import format_cdf, format_nested_table, format_series, format_table
-
     topologies = tuple(args.topos.split(",")) if args.topos else tuple(isp_catalog.names())
     n = args.cases
 
     name = args.experiment
+    with obs.run_context(
+        f"eval-{name}",
+        seed=args.seed,
+        config={"experiment": name, "cases": n, "topologies": list(topologies)},
+        topologies=topologies,
+    ) as manifest:
+        code = _run_eval_experiment(args, name, topologies, n)
+    if manifest is not None and manifest.artifacts_dir:
+        print(f"obs artifacts: {manifest.artifacts_dir}", file=sys.stderr)
+    return code
+
+
+def _run_eval_experiment(
+    args: argparse.Namespace, name: str, topologies: tuple, n: int
+) -> int:
+    from .eval import experiments
+    from .eval.report import format_cdf, format_nested_table, format_series, format_table
+
     if name == "table2":
         print(format_table(experiments.table2_topologies(seed=args.seed)))
     elif name == "fig7":
@@ -170,6 +191,30 @@ def cmd_eval(args: argparse.Namespace) -> int:
         print(f"unknown experiment {name!r}")
         return 2
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        if args.run_dir:
+            run_dir = Path(args.run_dir)
+        else:
+            run_dir = obs.latest_run_dir(obs.default_run_dir())
+            if run_dir is None:
+                print(
+                    "no instrumented runs found under "
+                    f"{obs.default_run_dir()} — run e.g. "
+                    "`REPRO_OBS=1 repro eval table3` first",
+                    file=sys.stderr,
+                )
+                return 1
+        try:
+            run = obs.load_run(run_dir)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load run {run_dir}: {exc}", file=sys.stderr)
+            return 1
+        print(obs.render_report(run, top=args.top))
+        return 0
+    raise AssertionError(args.obs_command)
 
 
 def cmd_render(args: argparse.Namespace) -> int:
@@ -212,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="RTR reproduction toolkit"
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--log",
+        metavar="LEVEL",
+        help="enable repro logging at LEVEL (overrides REPRO_LOG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     topo = sub.add_parser("topo", help="topology catalog operations")
@@ -250,6 +300,19 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--topos", help="comma-separated AS names (default: all)")
     ev.set_defaults(func=cmd_eval)
 
+    obs_p = sub.add_parser("obs", help="observability artifacts")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render the report of an instrumented run"
+    )
+    obs_report.add_argument(
+        "run_dir",
+        nargs="?",
+        help="run directory (default: latest under REPRO_OBS_DIR or ./obs-runs)",
+    )
+    obs_report.add_argument("--top", type=int, default=15, help="counters to show")
+    obs_p.set_defaults(func=cmd_obs)
+
     render = sub.add_parser("render", help="render a topology as SVG")
     render.add_argument("--topology", default="AS1239")
     render.add_argument("--seed", type=int, default=0)
@@ -270,7 +333,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    level = args.log or os.environ.get("REPRO_LOG")
+    if level:
+        obs.configure_logging(level)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped to a consumer that closed early (e.g. head);
+        # suppress the traceback and let the pipe's verdict stand.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

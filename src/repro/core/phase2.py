@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from .. import obs
 from ..failures import LocalView
 from ..routing import (
     Path,
@@ -114,7 +115,12 @@ class Phase2Engine:
     def tree(self) -> ShortestPathTree:
         """The post-failure SPT on ``G - E1`` (computed once, cached)."""
         if self._tree is None:
-            self._tree = self._compute_tree()
+            if obs.enabled():
+                with obs.span("rtr.phase2.tree", initiator=self.initiator):
+                    self._tree = self._compute_tree()
+                obs.inc("rtr.phase2.tree_builds")
+            else:
+                self._tree = self._compute_tree()
             self.sp_computations += 1
         return self._tree
 

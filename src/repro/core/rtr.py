@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import obs
 from ..errors import SimulationError
 from ..failures import FailureScenario, LocalView
 from ..routing import LinkStateProtocol, RoutingTable, SPTCache
@@ -56,6 +57,8 @@ from .phase1 import Phase1Result, run_phase1
 from .phase2 import Phase2Engine, Phase2Result, run_phase2
 
 APPROACH_NAME = "RTR"
+
+log = obs.get_logger(__name__)
 
 
 @dataclass
@@ -179,14 +182,21 @@ class RTR:
         """The (cached) phase-1 result of ``initiator`` (§III-A: run once)."""
         result = self._phase1_cache.get(initiator)
         if result is None:
-            if self.config.collector == "exhaustive":
-                from .exhaustive import run_exhaustive_phase1
+            with obs.span("rtr.phase1", initiator=initiator):
+                if self.config.collector == "exhaustive":
+                    from .exhaustive import run_exhaustive_phase1
 
-                result = run_exhaustive_phase1(
-                    self.topo, self.view, initiator, trigger_neighbor, self.engine
-                )
-            else:
-                result = self._run_phase1_with_retries(initiator, trigger_neighbor)
+                    result = run_exhaustive_phase1(
+                        self.topo, self.view, initiator, trigger_neighbor, self.engine
+                    )
+                else:
+                    result = self._run_phase1_with_retries(
+                        initiator, trigger_neighbor
+                    )
+            obs.inc("rtr.phase1.walks")
+            obs.inc("rtr.phase1.hops", result.hops)
+            if not result.complete:
+                obs.inc("rtr.phase1.incomplete")
             self._phase1_cache[initiator] = result
         return result
 
@@ -234,6 +244,7 @@ class RTR:
         engine = self._phase2_cache.get(initiator)
         if engine is None:
             phase1 = self.phase1_for(initiator, trigger_neighbor)
+            obs.inc("rtr.phase2.engines")
             engine = Phase2Engine(
                 self.topo,
                 initiator,
@@ -389,6 +400,19 @@ class RTR:
         that link and re-invokes the recomputation with the grown ``E1``
         (each re-invocation is one more on-demand SP calculation).
         """
+        with obs.span("rtr.phase2", destination=destination):
+            outcome = self._phase2_ladder_inner(phase2, destination, accounting)
+        obs.inc("rtr.phase2.attempts")
+        if outcome.delivered:
+            obs.inc("rtr.phase2.delivered")
+        return outcome
+
+    def _phase2_ladder_inner(
+        self,
+        phase2: Phase2Engine,
+        destination: int,
+        accounting: RecoveryAccounting,
+    ) -> Phase2Result:
         resends = 0
         reinvocations = 0
         outcome = run_phase2(
@@ -438,6 +462,14 @@ class RTR:
         """
         from ..baselines import Oracle
 
+        obs.inc("rtr.fallbacks")
+        log.warning(
+            "RTR ladder exhausted for case %s -> %s on scenario %s: "
+            "falling back to OSPF reconvergence",
+            initiator,
+            destination,
+            getattr(self.scenario, "name", self.scenario),
+        )
         wait = self._reconvergence_time()
         if wait > accounting.clock:
             accounting.advance_clock(wait - accounting.clock)

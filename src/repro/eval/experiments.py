@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..failures import fixed_radius_scenarios
 from ..routing import RoutingTable, SPTCache
 from ..topology import Topology, isp_catalog
@@ -60,16 +61,20 @@ def _cases_and_records(
     seed: int,
     approaches: Sequence[str],
 ) -> Tuple[CaseSet, Dict[str, List[CaseRecord]]]:
-    topo = _build_topology(name, seed)
-    rng = random.Random(seed * 7_919 + 13)
-    # One SPT pool serves case generation (oracle classification) and the
-    # protocol runs; all of them route on the same scenario exclusions.
-    cache = SPTCache()
-    case_set = generate_cases(topo, rng, n_recoverable, n_irrecoverable, cache=cache)
-    runner = EvaluationRunner(
-        topo, routing=case_set.routing, approaches=approaches, sp_cache=cache
-    )
-    records = runner.run(case_set)
+    with obs.span("eval.sweep", topology=name):
+        topo = _build_topology(name, seed)
+        rng = random.Random(seed * 7_919 + 13)
+        # One SPT pool serves case generation (oracle classification) and the
+        # protocol runs; all of them route on the same scenario exclusions.
+        cache = SPTCache()
+        case_set = generate_cases(
+            topo, rng, n_recoverable, n_irrecoverable, cache=cache
+        )
+        runner = EvaluationRunner(
+            topo, routing=case_set.routing, approaches=approaches, sp_cache=cache
+        )
+        records = runner.run(case_set)
+        obs.gauge(f"spt_cache.hit_rate.{name}", cache.hit_rate())
     return case_set, records
 
 

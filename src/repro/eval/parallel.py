@@ -33,6 +33,7 @@ import random
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..routing import SPTCache
 from .cases import CaseSet, TestCase, generate_cases
 from .metrics import (
@@ -42,6 +43,8 @@ from .metrics import (
     summarize_recoverable,
 )
 from .runner import ALL_APPROACHES, EvaluationRunner
+
+log = obs.get_logger(__name__)
 
 # Module-level workers: ProcessPoolExecutor requires picklable callables.
 
@@ -94,16 +97,41 @@ def _worker_case_set(
     return state
 
 
-def _shard_worker(args) -> tuple:
-    """Run one (topology, shard) chunk and return its raw case records."""
-    name, n_rec, n_irr, seed, approaches, shard_index, n_shards = args
+def _run_shard(
+    name: str,
+    n_rec: int,
+    n_irr: int,
+    seed: int,
+    approaches: Tuple[str, ...],
+    shard_index: int,
+    n_shards: int,
+) -> Dict[str, List[CaseRecord]]:
+    """Run one (topology, shard) chunk — shared by workers and the
+    parent-side serial retry (which must not touch obs state)."""
     topo, case_set, cache = _worker_case_set(name, n_rec, n_irr, seed)
     shard = shard_cases(case_set, n_shards)[shard_index]
     runner = EvaluationRunner(
         topo, routing=case_set.routing, approaches=approaches, sp_cache=cache
     )
-    records = runner.run_cases(case_set, shard)
-    return name, shard_index, records
+    return runner.run_cases(case_set, shard)
+
+
+def _shard_worker(args) -> tuple:
+    """Run one (topology, shard) chunk and return its raw case records.
+
+    When instrumentation is on, the worker's process-local obs state is
+    reset at task start and its snapshot shipped back with the records,
+    so the parent can fold per-shard counters and span aggregates into
+    one registry (see :func:`_gather_records`).
+    """
+    name, n_rec, n_irr, seed, approaches, shard_index, n_shards = args
+    if obs.enabled():
+        obs.reset()
+    records = _run_shard(
+        name, n_rec, n_irr, seed, approaches, shard_index, n_shards
+    )
+    snap = obs.snapshot() if obs.enabled() else None
+    return name, shard_index, records, snap
 
 
 def _gather_records(
@@ -116,7 +144,17 @@ def _gather_records(
     shards_per_topology: Optional[int],
     chunksize: int,
 ) -> Dict[str, Dict[str, List[CaseRecord]]]:
-    """Fan (topology, shard) tasks out and reassemble serial-order records."""
+    """Fan (topology, shard) tasks out and reassemble serial-order records.
+
+    A shard whose worker dies (pool crash, pickling failure, injected
+    chaos tripping the process) is retried serially in the parent rather
+    than aborting the sweep — the retry runs against the parent's own
+    obs registry, while successful workers ship snapshots that are merged
+    in sorted (topology, shard) order so float sums are reproducible.
+    ``chunksize`` is kept for API compatibility; tasks are submitted
+    individually so per-shard failures stay isolated.
+    """
+    del chunksize  # submit() isolates failures; batching would pool them
     workers = jobs if jobs is not None else (os.cpu_count() or 1)
     n_shards = shards_per_topology if shards_per_topology is not None else workers
     n_shards = max(1, n_shards)
@@ -127,11 +165,34 @@ def _gather_records(
         for s in range(n_shards)
     ]
     by_shard: Dict[str, Dict[int, Dict[str, List[CaseRecord]]]] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for name, shard_index, records in pool.map(
-            _shard_worker, work, chunksize=max(1, chunksize)
-        ):
-            by_shard.setdefault(name, {})[shard_index] = records
+    snapshots: Dict[Tuple[str, int], dict] = {}
+    retry: List[tuple] = []
+    with obs.span("eval.parallel", shards=len(work)):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [(item, pool.submit(_shard_worker, item)) for item in work]
+            for item, future in futures:
+                try:
+                    name, shard_index, records, snap = future.result()
+                except Exception as exc:  # noqa: BLE001 — shard isolation
+                    log.warning(
+                        "worker for shard %s/%d failed (%s: %s); "
+                        "retrying serially in parent",
+                        item[0],
+                        item[5],
+                        type(exc).__name__,
+                        exc,
+                    )
+                    retry.append(item)
+                    continue
+                by_shard.setdefault(name, {})[shard_index] = records
+                if snap is not None:
+                    snapshots[(name, shard_index)] = snap
+        for item in retry:
+            obs.inc("eval.parallel.retries")
+            records = _run_shard(*item)
+            by_shard.setdefault(item[0], {})[item[5]] = records
+        for key in sorted(snapshots):
+            obs.merge_snapshot(snapshots[key])
     merged: Dict[str, Dict[str, List[CaseRecord]]] = {}
     for name in topologies:
         merged[name] = {a: [] for a in approaches}

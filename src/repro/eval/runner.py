@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..baselines import FCP, MRC, BackupConfiguration, generate_configurations
 from ..chaos import FaultPlan
 from ..core import RTR, RTRConfig
@@ -29,6 +30,8 @@ from .metrics import CaseRecord
 
 #: Approaches known to the runner, in the paper's comparison order.
 ALL_APPROACHES = ("RTR", "FCP", "MRC")
+
+log = obs.get_logger(__name__)
 
 
 class EvaluationRunner:
@@ -106,6 +109,7 @@ class EvaluationRunner:
             scenario = case_set.scenarios[scenario_index]
             protocols = self._protocols(scenario)
             for case in cases:
+                obs.inc("eval.cases")
                 for name in self.approaches:
                     result = self._recover_one(protocols[name], name, case)
                     records[name].append(CaseRecord(case=case, result=result))
@@ -124,6 +128,16 @@ class EvaluationRunner:
                 case.initiator, case.destination, case.trigger
             )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
+            obs.inc("eval.errors")
+            log.warning(
+                "%s crashed on case %s -> %s (trigger %s): %s: %s",
+                name,
+                case.initiator,
+                case.destination,
+                case.trigger,
+                type(exc).__name__,
+                exc,
+            )
             return RecoveryResult(
                 approach=name,
                 delivered=False,

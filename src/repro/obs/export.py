@@ -1,0 +1,163 @@
+"""Structured export: JSONL event streams, Prometheus text, reports.
+
+Every instrumented run leaves three artifacts in its run directory:
+
+* ``manifest.json`` — the :class:`~repro.obs.manifest.RunManifest`;
+* ``events.jsonl`` — one JSON object per line: finished spans and custom
+  events, in completion order;
+* ``metrics.prom`` / ``metrics.json`` — the final registry state as a
+  Prometheus text exposition and as plain JSON (the report reads the
+  JSON; the ``.prom`` file is for scraping/ingestion tooling).
+
+:func:`render_report` turns a loaded run back into the terminal view the
+``repro obs report`` CLI prints: a per-span time breakdown (indented by
+nesting) plus the top counters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    return _NAME_RE.sub("_", name)
+
+
+def render_prometheus(metrics_snapshot: Dict[str, object]) -> str:
+    """Prometheus text exposition of one registry snapshot."""
+    lines: List[str] = []
+    for name, value in metrics_snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        prom = f"repro_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in metrics_snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        prom = f"repro_{_prom_name(name)}"
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, data in metrics_snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        prom = f"repro_{_prom_name(name)}"
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{edge}"}} {cumulative}')
+        cumulative += data["counts"][-1]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {data['sum']}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_run_artifacts(
+    directory: Path,
+    manifest_dict: Dict[str, object],
+    metrics_snapshot: Dict[str, object],
+    span_aggregates: Dict[str, Dict[str, float]],
+    events: List[dict],
+) -> Path:
+    """Write manifest/events/metrics artifacts; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest_dict, indent=2, sort_keys=True) + "\n"
+    )
+    with (directory / "events.jsonl").open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    metrics_doc = {
+        "metrics": metrics_snapshot,
+        "span_aggregates": span_aggregates,
+    }
+    (directory / "metrics.json").write_text(
+        json.dumps(metrics_doc, indent=2, sort_keys=True) + "\n"
+    )
+    (directory / "metrics.prom").write_text(render_prometheus(metrics_snapshot))
+    return directory
+
+
+def load_run(directory: Path) -> Dict[str, object]:
+    """Load one run directory back into plain dicts."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    metrics_doc = json.loads((directory / "metrics.json").read_text())
+    events: List[dict] = []
+    events_path = directory / "events.jsonl"
+    if events_path.exists():
+        for line in events_path.read_text().splitlines():
+            if line.strip():
+                events.append(json.loads(line))
+    return {
+        "manifest": manifest,
+        "metrics": metrics_doc.get("metrics", {}),
+        "span_aggregates": metrics_doc.get("span_aggregates", {}),
+        "events": events,
+    }
+
+
+def latest_run_dir(base: Path) -> Optional[Path]:
+    """The most recently written run directory under ``base``, if any."""
+    base = Path(base)
+    if not base.is_dir():
+        return None
+    candidates = [d for d in base.iterdir() if (d / "manifest.json").exists()]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda d: (d / "manifest.json").stat().st_mtime)
+
+
+def render_report(run: Dict[str, object], top: int = 15) -> str:
+    """Terminal report: span time breakdown + top counters."""
+    manifest = run["manifest"]  # type: ignore[assignment]
+    aggregates: Dict[str, Dict[str, float]] = run["span_aggregates"]  # type: ignore[assignment]
+    counters: Dict[str, float] = run["metrics"].get("counters", {})  # type: ignore[union-attr]
+
+    lines: List[str] = []
+    lines.append(
+        f"run {manifest.get('name')}  seed={manifest.get('seed')}  "
+        f"config={manifest.get('config_hash')}  git={manifest.get('git_sha')}  "
+        f"python={manifest.get('python')}"
+    )
+    topologies = manifest.get("topologies") or []
+    if topologies:
+        lines.append(f"topologies: {', '.join(str(t) for t in topologies)}")
+
+    lines.append("")
+    lines.append("span breakdown (self-inclusive totals):")
+    header = f"  {'span':40s} {'count':>8s} {'total_ms':>12s} {'mean_ms':>10s} {'max_ms':>10s}"
+    lines.append(header)
+    root_total = sum(
+        data["total_s"] for path, data in aggregates.items() if "/" not in path
+    )
+    for path in sorted(aggregates):
+        data = aggregates[path]
+        depth = path.count("/")
+        label = ("  " * depth) + path.rsplit("/", 1)[-1]
+        total_ms = 1000.0 * data["total_s"]
+        mean_ms = total_ms / data["count"] if data["count"] else 0.0
+        pct = (
+            f" {100.0 * data['total_s'] / root_total:5.1f}%"
+            if root_total > 0 and depth == 0
+            else ""
+        )
+        lines.append(
+            f"  {label:40s} {int(data['count']):>8d} {total_ms:>12.2f} "
+            f"{mean_ms:>10.3f} {1000.0 * data['max_s']:>10.3f}{pct}"
+        )
+    if not aggregates:
+        lines.append("  (no spans recorded)")
+
+    lines.append("")
+    lines.append(f"top counters (of {len(counters)}):")
+    ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    for name, value in ranked:
+        shown = int(value) if float(value).is_integer() else value
+        lines.append(f"  {name:48s} {shown}")
+    if not counters:
+        lines.append("  (no counters recorded)")
+    return "\n".join(lines)

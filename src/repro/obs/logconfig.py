@@ -1,0 +1,65 @@
+"""Stdlib logging for the ``repro`` logger hierarchy.
+
+Every module logs under a ``repro.``-rooted name via :func:`get_logger`;
+nothing is printed until :func:`configure_logging` installs a handler
+(the root ``repro`` logger carries a :class:`logging.NullHandler` so an
+un-configured library stays silent, per stdlib convention).  The CLI
+configures WARNING by default; ``REPRO_LOG=DEBUG`` (or any level name)
+overrides it.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+# Library convention: stay silent until the application configures us —
+# without this, WARNING records would hit logging.lastResort and spam
+# stderr during chaos sweeps.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO", stream=None
+) -> logging.Logger:
+    """Install (or retune) one stream handler on the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level of the existing handler
+    instead of stacking new ones.  Returns the configured root logger.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    handler = _find_handler(root)
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.set_name("repro-obs")
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(level)
+    return root
+
+
+def _find_handler(root: logging.Logger) -> Optional[logging.Handler]:
+    for handler in root.handlers:
+        if handler.get_name() == "repro-obs":
+            return handler
+    return None

@@ -1,0 +1,80 @@
+"""Run provenance: manifests and canonical config hashing.
+
+A :class:`RunManifest` pins everything needed to reproduce one sweep or
+benchmark run — seed, git commit, interpreter, a canonical hash of the
+driver configuration, and the topology ids it touched.  The same config
+hash is recorded into ``benchmarks/BENCH_*.json`` rows so a perf number
+can always be traced back to the exact configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+
+def config_hash(config: object) -> str:
+    """Canonical short hash of an arbitrary JSON-able configuration.
+
+    Keys are sorted and non-JSON values fall back to ``repr`` so the hash
+    depends only on configuration *content*, never on dict ordering or
+    object identity.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def git_sha() -> str:
+    """Short commit hash of this checkout (``-dirty`` suffixed), or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--abbrev=12"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one instrumented run."""
+
+    name: str
+    seed: Optional[int] = None
+    config: Optional[dict] = None
+    topologies: Sequence[str] = ()
+    started_unix: float = field(default_factory=time.time)
+    git_sha: str = field(default_factory=git_sha)
+    python: str = field(default_factory=platform.python_version)
+    #: Filled in by :func:`repro.obs.run_context` after artifacts are
+    #: written; ``None`` while the run is still open.
+    artifacts_dir: Optional[str] = None
+
+    @property
+    def config_hash(self) -> str:
+        return config_hash(self.config if self.config is not None else {})
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "topologies": list(self.topologies),
+            "started_unix": round(self.started_unix, 3),
+            "git_sha": self.git_sha,
+            "python": self.python,
+        }

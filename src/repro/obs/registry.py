@@ -1,0 +1,145 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is a plain in-process container — no background threads, no
+global locks, no third-party clients.  Protocol code reports through the
+facade in :mod:`repro.obs`, which skips the registry entirely when
+observability is disabled, so the hot paths pay only a boolean check.
+
+Merge semantics (used when parallel shard workers hand their registries
+back to the parent, see :mod:`repro.eval.parallel`):
+
+* counters and histogram buckets **add**,
+* gauges take the **max** (order-independent, so any deterministic merge
+  order yields the same result),
+* histogram edge lists must agree exactly — a mismatch is a programming
+  error and raises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default histogram bucket edges, in seconds — tuned for kernel/phase
+#: timings that range from tens of microseconds to a few seconds.
+DEFAULT_EDGES: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts are derived on export)."""
+
+    __slots__ = ("edges", "counts", "sum", "count")
+
+    def __init__(self, edges: Tuple[float, ...] = DEFAULT_EDGES) -> None:
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"histogram edges must be strictly increasing: {edges}")
+        self.edges = tuple(edges)
+        #: counts[i] observes values <= edges[i]; the last slot is +Inf.
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with deterministic merge."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, edges: Optional[Iterable[float]] = None
+    ) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(tuple(edges) if edges is not None else DEFAULT_EDGES)
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain, picklable dict of the current state (sorted keys)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].as_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    def merge(self, snap: Dict[str, object]) -> None:
+        """Fold one :meth:`snapshot` payload into this registry."""
+        for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
+            self.inc(name, value)
+        for name, value in snap.get("gauges", {}).items():  # type: ignore[union-attr]
+            self.gauges[name] = max(self.gauges.get(name, value), value)
+        for name, data in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+            edges = tuple(data["edges"])
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = Histogram(edges)
+                self.histograms[name] = hist
+            elif hist.edges != edges:
+                raise ValueError(
+                    f"histogram {name!r} edge mismatch on merge: "
+                    f"{hist.edges} vs {edges}"
+                )
+            for i, c in enumerate(data["counts"]):
+                hist.counts[i] += c
+            hist.sum += data["sum"]
+            hist.count += data["count"]
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

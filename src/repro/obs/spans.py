@@ -1,0 +1,170 @@
+"""Span tracing: nested monotonic timings over the recovery pipeline.
+
+A span is one timed region (``with tracer.span("dijkstra.csr"):``).
+Spans nest; each finished span is aggregated under its *path* — the tuple
+of ancestor names plus its own — so the report can render a per-phase
+breakdown (``eval.sweep / rtr.phase2 / dijkstra.csr``) without keeping
+every event.  Raw span events are additionally retained (bounded) for the
+JSONL export and for trace correlation (:mod:`repro.simulator.trace`
+stamps hop events with the enclosing span id).
+
+Timing uses :func:`time.perf_counter` — monotonic, unaffected by wall
+clock adjustments.  The tracer is not thread-safe by design: the
+simulation is single-threaded per process, and parallel evaluation runs
+one tracer per worker process (merged on reassembly).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+#: Cap on retained raw span events; aggregates keep counting past it.
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class SpanAggregate:
+    """count / total / min / max of every finished span on one path."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, duration_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        if duration_s < self.min_s:
+            self.min_s = duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One active span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[dict]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self.parent_id = stack[-1][0] if stack else None
+        stack.append((self.span_id, self.name))
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = perf_counter() - self._t0
+        tracer = self.tracer
+        stack = tracer._stack
+        path = tuple(name for _, name in stack)
+        stack.pop()
+        agg = tracer.aggregates.get(path)
+        if agg is None:
+            agg = SpanAggregate()
+            tracer.aggregates[path] = agg
+        agg.add(duration)
+        if len(tracer.events) < tracer.max_events:
+            event = {
+                "type": "span",
+                "name": self.name,
+                "path": "/".join(path),
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "start_s": round(self._t0 - tracer.epoch, 9),
+                "duration_s": round(duration, 9),
+            }
+            if self.attrs:
+                event["attrs"] = self.attrs
+            tracer.events.append(event)
+        else:
+            tracer.dropped_events += 1
+        return False
+
+
+class Tracer:
+    """Owns the span stack, per-path aggregates, and the raw event buffer."""
+
+    __slots__ = (
+        "epoch",
+        "aggregates",
+        "events",
+        "max_events",
+        "dropped_events",
+        "_next_id",
+        "_stack",
+    )
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.max_events = max_events
+        self.reset()
+
+    def reset(self) -> None:
+        self.epoch = perf_counter()
+        self.aggregates: Dict[Tuple[str, ...], SpanAggregate] = {}
+        self.events: List[dict] = []
+        self.dropped_events = 0
+        self._next_id = 1
+        self._stack: List[Tuple[int, str]] = []
+
+    def span(self, name: str, attrs: Optional[dict] = None) -> Span:
+        return Span(self, name, attrs)
+
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1][0] if self._stack else None
+
+    def aggregate_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Aggregates keyed by ``/``-joined path (picklable, sorted)."""
+        return {
+            "/".join(path): self.aggregates[path].as_dict()
+            for path in sorted(self.aggregates)
+        }
+
+    def merge_aggregates(self, snap: Dict[str, Dict[str, float]]) -> None:
+        """Fold one :meth:`aggregate_snapshot` payload into this tracer."""
+        for path_str, data in snap.items():
+            path = tuple(path_str.split("/"))
+            agg = self.aggregates.get(path)
+            if agg is None:
+                agg = SpanAggregate()
+                self.aggregates[path] = agg
+            agg.count += int(data["count"])
+            agg.total_s += data["total_s"]
+            agg.min_s = min(agg.min_s, data["min_s"])
+            agg.max_s = max(agg.max_s, data["max_s"])

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import NoPathError
 from ..topology import Link, Topology
 from .dijkstra import _dijkstra_csr
@@ -46,12 +47,13 @@ class SPTCache:
     immutable (``updated_tree`` already copies before mutating).
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "_entries")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_entries")
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         # key -> (topo, tree); the topology reference pins the id() used
         # in the key so it cannot be recycled while the entry lives.
         self._entries: "OrderedDict[tuple, Tuple[Topology, ShortestPathTree]]" = (
@@ -72,16 +74,29 @@ class SPTCache:
         key = (id(topo), csr.version, toward_root, root, node_mask, link_mask)
         entry = self._entries.get(key)
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry[1]
+            if entry[0] is topo:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                obs.inc("spt_cache.hits")
+                return entry[1]
+            # Signature collision: the bitmask key matched but the pinned
+            # topology is a different object (an ``id()`` recycled after
+            # the original graph died while this entry outlived it, or a
+            # forged entry).  Serving the stored tree would answer queries
+            # about the wrong graph — count a miss, drop the stale entry,
+            # and recompute.
+            del self._entries[key]
+            obs.inc("spt_cache.collisions")
         self.misses += 1
+        obs.inc("spt_cache.misses")
         node_excl = csr.node_flags(excluded_nodes) if excluded_nodes else None
         link_excl = csr.link_flags(excluded_links) if excluded_links else None
         tree = _dijkstra_csr(topo, root, toward_root, node_excl, link_excl)
         self._entries[key] = (topo, tree)
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.inc("spt_cache.evictions")
         return tree
 
     # ------------------------------------------------------------------
@@ -151,12 +166,18 @@ class SPTCache:
         self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters for observability and tests."""
+        """Hit/miss/eviction/size counters for observability and tests."""
         return {
             "hits": self.hits,
             "misses": self.misses,
-            "entries": len(self._entries),
+            "evictions": self.evictions,
+            "size": len(self._entries),
         }
+
+    def hit_rate(self) -> float:
+        """Fraction of probes served from the cache (0.0 before any probe)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import FrozenSet, Iterable, Optional, Set
 
+from .. import obs
 from ..errors import NoPathError, UnknownNodeError
 from ..topology import Link, Topology
 from .paths import Path
@@ -61,6 +62,25 @@ def _dijkstra_csr(
     """
     global _RUN_COUNT
     _RUN_COUNT += 1
+    if not obs.enabled():
+        return _dijkstra_csr_kernel(
+            topo, root, toward_root, node_excl, link_excl, target
+        )
+    with obs.span("dijkstra.csr"):
+        obs.inc("dijkstra.runs")
+        return _dijkstra_csr_kernel(
+            topo, root, toward_root, node_excl, link_excl, target
+        )
+
+
+def _dijkstra_csr_kernel(
+    topo: Topology,
+    root: int,
+    toward_root: bool,
+    node_excl: Optional[bytearray],
+    link_excl: Optional[bytearray],
+    target: Optional[int] = None,
+) -> ShortestPathTree:
     csr = topo.csr()
     pos = csr.pos
     root_index = pos.get(root)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Set
 
+from .. import obs
 from ..topology import Link, Topology
 from .spt import ShortestPathTree
 
@@ -52,6 +53,19 @@ def updated_tree(
     the result.  Affected nodes that cannot be reattached become
     unreachable (absent from ``dist``).
     """
+    if not obs.enabled():
+        return _updated_tree_kernel(topo, tree, removed_links, removed_nodes)
+    with obs.span("spt.incremental"):
+        obs.inc("spt.incremental_updates")
+        return _updated_tree_kernel(topo, tree, removed_links, removed_nodes)
+
+
+def _updated_tree_kernel(
+    topo: Topology,
+    tree: ShortestPathTree,
+    removed_links: Iterable[Link] = (),
+    removed_nodes: Iterable[int] = (),
+) -> ShortestPathTree:
     csr = topo.csr()
     pos, ids = csr.pos, csr.ids
     indptr, nbr, lid = csr.indptr, csr.nbr, csr.lid

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from .. import obs
 from ..errors import ForwardingLoopError, SimulationError
 from ..failures import LocalView
 from ..topology import Link, Topology
@@ -111,6 +112,7 @@ class ForwardingEngine:
                     mode=packet.header.mode,
                     header_bytes=header_bytes,
                     packet_id=packet.packet_id,
+                    span_id=obs.current_span_id(),
                 )
             )
         packet.at = next_node
@@ -265,5 +267,6 @@ class ForwardingEngine:
                     mode=packet.header.mode,
                     packet_id=packet.packet_id,
                     reason=reason,
+                    span_id=obs.current_span_id(),
                 )
             )

@@ -27,6 +27,9 @@ class HopEvent:
     mode: int
     header_bytes: int
     packet_id: int
+    #: Id of the enclosing observability span (``repro.obs``) active when
+    #: the hop was recorded, or ``None`` when tracing is disabled.
+    span_id: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,7 @@ class DropEvent:
     mode: int
     packet_id: int
     reason: str
+    span_id: Optional[int] = None
 
 
 @dataclass
@@ -111,6 +115,7 @@ class ForwardingTrace:
                 "mode": e.mode,
                 "header_bytes": e.header_bytes,
                 "packet": e.packet_id,
+                "span_id": e.span_id,
             }
             for e in self.events
         ]

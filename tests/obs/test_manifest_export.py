@@ -1,0 +1,127 @@
+"""Tests for repro.obs.manifest and repro.obs.export (provenance + artifacts)."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    config_hash,
+    latest_run_dir,
+    load_run,
+    render_prometheus,
+    render_report,
+    write_run_artifacts,
+)
+
+
+class TestConfigHash:
+    def test_stable_and_order_independent(self):
+        a = config_hash({"cases": 120, "seed": 0})
+        b = config_hash({"seed": 0, "cases": 120})
+        assert a == b
+        assert len(a) == 16
+        int(a, 16)  # hex
+
+    def test_content_sensitive(self):
+        assert config_hash({"seed": 0}) != config_hash({"seed": 1})
+
+    def test_non_json_values_fall_back_to_repr(self):
+        assert config_hash({"edges": (1, 2)}) == config_hash({"edges": [1, 2]})
+        # Non-serializable objects hash via repr instead of raising.
+        config_hash({"obj": object})
+
+
+class TestRunManifest:
+    def test_as_dict_round_trips_through_json(self):
+        manifest = RunManifest(
+            name="t", seed=3, config={"n": 1}, topologies=["AS209"]
+        )
+        doc = json.loads(json.dumps(manifest.as_dict()))
+        assert doc["name"] == "t"
+        assert doc["seed"] == 3
+        assert doc["config_hash"] == config_hash({"n": 1})
+        assert doc["topologies"] == ["AS209"]
+        assert doc["python"]
+
+    def test_empty_config_hashes_like_empty_dict(self):
+        assert RunManifest(name="x").config_hash == config_hash({})
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.inc("rtr.phase1.walks", 5)
+        reg.set_gauge("cache.hit_rate", 0.75)
+        reg.observe("dijkstra", 0.05, edges=(0.1, 1.0))
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_rtr_phase1_walks_total counter" in text
+        assert "repro_rtr_phase1_walks_total 5" in text
+        assert "repro_cache_hit_rate 0.75" in text
+        assert 'repro_dijkstra_bucket{le="0.1"} 1' in text
+        assert 'repro_dijkstra_bucket{le="+Inf"} 1' in text
+        assert "repro_dijkstra_count 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+
+class TestArtifacts:
+    def _write_run(self, base, name="demo", seed=1):
+        reg = MetricsRegistry()
+        reg.inc("eval.cases", 7)
+        tracer = Tracer()
+        with tracer.span("sweep"):
+            with tracer.span("dijkstra"):
+                pass
+        manifest = RunManifest(name=name, seed=seed, config={"k": seed})
+        directory = base / f"{name}-{manifest.config_hash}"
+        return write_run_artifacts(
+            directory,
+            manifest.as_dict(),
+            reg.snapshot(),
+            tracer.aggregate_snapshot(),
+            tracer.events,
+        )
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        directory = self._write_run(tmp_path)
+        for artifact in (
+            "manifest.json",
+            "events.jsonl",
+            "metrics.json",
+            "metrics.prom",
+        ):
+            assert (directory / artifact).exists()
+        run = load_run(directory)
+        assert run["manifest"]["name"] == "demo"
+        assert run["metrics"]["counters"]["eval.cases"] == 7
+        assert run["span_aggregates"]["sweep/dijkstra"]["count"] == 1
+        assert len(run["events"]) == 2  # both spans finished
+
+    def test_events_jsonl_is_line_delimited(self, tmp_path):
+        directory = self._write_run(tmp_path)
+        lines = (directory / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            event = json.loads(line)
+            assert event["type"] == "span"
+
+    def test_latest_run_dir(self, tmp_path):
+        assert latest_run_dir(tmp_path) is None
+        self._write_run(tmp_path, seed=1)
+        import os
+        import time
+
+        newest = self._write_run(tmp_path, seed=2)
+        # mtime resolution can be coarse; force an ordering.
+        os.utime(newest / "manifest.json", (time.time() + 10, time.time() + 10))
+        assert latest_run_dir(tmp_path) == newest
+
+    def test_render_report_contains_spans_and_counters(self, tmp_path):
+        run = load_run(self._write_run(tmp_path))
+        text = render_report(run)
+        assert "run demo" in text
+        assert "sweep" in text
+        assert "dijkstra" in text
+        assert "eval.cases" in text

@@ -1,0 +1,108 @@
+"""Tests for repro.obs.registry (counters, gauges, histograms, merge)."""
+
+import pytest
+
+from repro.obs import DEFAULT_EDGES, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+
+    def test_observe_buckets(self):
+        hist = Histogram((0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(5.55)
+
+    def test_boundary_is_inclusive(self):
+        hist = Histogram((0.1,))
+        hist.observe(0.1)
+        assert hist.counts == [1, 0]
+
+    def test_default_edges(self):
+        hist = Histogram()
+        assert hist.edges == DEFAULT_EDGES
+        assert len(hist.counts) == len(DEFAULT_EDGES) + 1
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counters["a"] == 5
+
+    def test_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 0.5)
+        assert reg.gauges["g"] == 0.5
+
+    def test_snapshot_is_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        reg.observe("h", 0.01)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["histograms"]["h"]["count"] == 1
+        # Round-trips through JSON (picklable plain structures).
+        import json
+
+        json.dumps(snap)
+
+    def test_merge_adds_counters_and_buckets(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        a.observe("h", 0.01)
+        b.observe("h", 0.02)
+        a.merge(b.snapshot())
+        assert a.counters["c"] == 5
+        assert a.histograms["h"].count == 2
+
+    def test_merge_gauges_take_max(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.set_gauge("g", 0.2)
+        b.set_gauge("g", 0.7)
+        a.merge(b.snapshot())
+        assert a.gauges["g"] == 0.7
+
+    def test_merge_edge_mismatch_raises(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.observe("h", 0.01, edges=(0.1, 1.0))
+        b.observe("h", 0.01, edges=(0.5,))
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_is_order_independent_for_counters(self):
+        parts = []
+        for n in (1, 2, 3):
+            reg = MetricsRegistry()
+            reg.inc("x", n)
+            parts.append(reg.snapshot())
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for snap in parts:
+            forward.merge(snap)
+        for snap in reversed(parts):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.1)
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

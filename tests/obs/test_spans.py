@@ -1,0 +1,90 @@
+"""Tests for repro.obs.spans (nesting, aggregation, event bounding)."""
+
+from repro.obs import NULL_SPAN, Tracer
+from repro.obs.spans import _NullSpan
+
+
+class TestNullSpan:
+    def test_is_shared_noop_context_manager(self):
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+        assert isinstance(NULL_SPAN, _NullSpan)
+
+    def test_does_not_swallow_exceptions(self):
+        try:
+            with NULL_SPAN:
+                raise KeyError("boom")
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("exception was swallowed")
+
+
+class TestTracer:
+    def test_nesting_builds_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        snap = tracer.aggregate_snapshot()
+        assert snap["outer"]["count"] == 1
+        assert snap["outer/inner"]["count"] == 2
+        assert snap["outer"]["total_s"] >= snap["outer/inner"]["total_s"]
+
+    def test_span_ids_and_parents(self):
+        tracer = Tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span_id() == a.span_id
+            with tracer.span("b") as b:
+                assert b.parent_id == a.span_id
+                assert tracer.current_span_id() == b.span_id
+            assert tracer.current_span_id() == a.span_id
+        assert tracer.current_span_id() is None
+
+    def test_events_record_path_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("a", {"root": 7}):
+            pass
+        (event,) = tracer.events
+        assert event["type"] == "span"
+        assert event["name"] == "a"
+        assert event["path"] == "a"
+        assert event["attrs"] == {"root": 7}
+        assert event["duration_s"] >= 0.0
+
+    def test_event_buffer_is_bounded(self):
+        tracer = Tracer(max_events=3)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.events) == 3
+        assert tracer.dropped_events == 2
+        # Aggregates keep counting past the cap.
+        assert tracer.aggregate_snapshot()["s"]["count"] == 5
+
+    def test_merge_aggregates(self):
+        a = Tracer()
+        b = Tracer()
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        with b.span("y"):
+            pass
+        a.merge_aggregates(b.aggregate_snapshot())
+        snap = a.aggregate_snapshot()
+        assert snap["x"]["count"] == 2
+        assert snap["y"]["count"] == 1
+        assert snap["x"]["min_s"] <= snap["x"]["max_s"]
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.events == []
+        assert tracer.aggregate_snapshot() == {}
+        assert tracer.current_span_id() is None

@@ -70,7 +70,13 @@ class TestCacheBehavior:
         first = cache.forward_tree(topo, root)
         second = cache.forward_tree(topo, root)
         assert first is second
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "size": 1,
+        }
+        assert cache.hit_rate() == 0.5
 
     def test_orientations_do_not_collide(self, topo):
         cache = SPTCache()
@@ -104,6 +110,38 @@ class TestCacheBehavior:
         after = cache.forward_tree(topo, root)
         assert after is not before
         assert cache.misses == 2
+
+    def test_eviction_counter(self, topo):
+        cache = SPTCache(max_entries=2)
+        nodes = sorted(topo.nodes())
+        cache.forward_tree(topo, nodes[0])
+        cache.forward_tree(topo, nodes[1])
+        cache.forward_tree(topo, nodes[2])
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["size"] == 2
+
+    def test_signature_collision_probes_as_miss(self, topo):
+        # A key whose pinned topology is a different object (id() recycled
+        # after the original graph died, or a forged entry) must not be
+        # served: the probe counts a miss, drops the stale entry, and
+        # recomputes against the live topology.
+        cache = SPTCache()
+        root = next(iter(topo.nodes()))
+        real = cache.forward_tree(topo, root)
+        key = next(iter(cache._entries))
+        cache._entries[key] = (object(), real)
+        again = cache.forward_tree(topo, root)
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 2,
+            "evictions": 0,
+            "size": 1,
+        }
+        assert again.dist == real.dist
+        assert again.parent == real.parent
+        # The recomputed entry is pinned to the live topology again.
+        assert cache.forward_tree(topo, root) is again
+        assert cache.hits == 1
 
     def test_clear(self, topo):
         cache = SPTCache()

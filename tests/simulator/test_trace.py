@@ -90,3 +90,43 @@ class TestTraceQueries:
         assert trace.peak_header() is None
         assert trace.duration() == 0.0
         assert trace.double_traversed_links() == []
+
+
+class TestSpanCorrelation:
+    def test_span_id_is_none_when_obs_disabled(self, ring8):
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=1)
+        engine.follow_source_route(packet, [0, 1], RecoveryAccounting())
+        assert trace.events[0].span_id is None
+        assert trace.to_rows()[0]["span_id"] is None
+
+    def test_hops_stamped_with_enclosing_span(self, ring8):
+        from repro import obs
+
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=2)
+        with obs.temporarily_enabled():
+            obs.reset()
+            with obs.span("delivery") as span:
+                engine.follow_source_route(packet, [0, 1, 2], RecoveryAccounting())
+            span_id = span.span_id
+        assert [e.span_id for e in trace.events] == [span_id, span_id]
+
+    def test_to_rows_round_trips_hop_events(self, ring8):
+        from repro.simulator import HopEvent
+
+        engine, trace = traced_engine(ring8)
+        packet = Packet(source=0, destination=2)
+        engine.follow_source_route(packet, [0, 1, 2], RecoveryAccounting())
+        for event, row in zip(trace.events, trace.to_rows()):
+            rebuilt = HopEvent(
+                time=row["time_ms"] / 1000.0,
+                sender=row["from"],
+                receiver=row["to"],
+                link=Link.of(row["from"], row["to"]),
+                mode=row["mode"],
+                header_bytes=row["header_bytes"],
+                packet_id=row["packet"],
+                span_id=row["span_id"],
+            )
+            assert rebuilt == event
