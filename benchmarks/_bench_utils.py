@@ -15,6 +15,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Schema: bench name -> {wall_s, cases, sp_computations, python, git_sha}.
 BENCH_JSON = Path(__file__).parent / "BENCH_core.json"
 
+#: Traffic-weighted trajectory (written by ``bench_traffic_weighted.py``,
+#: uploaded by CI next to the core file).
+BENCH_TRAFFIC_JSON = Path(__file__).parent / "BENCH_traffic.json"
+
 #: Case-count multiplier (1 = laptop-quick defaults).
 SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
 
@@ -57,10 +61,12 @@ def _git_sha() -> str:
         return "unknown"
 
 
-def load_bench_json() -> Dict[str, dict]:
-    """The checked-in perf baseline, or ``{}`` before the first record."""
-    if BENCH_JSON.exists():
-        return json.loads(BENCH_JSON.read_text())
+def load_bench_json(path: Optional[Path] = None) -> Dict[str, dict]:
+    """A checked-in perf baseline (default core), or ``{}`` before the
+    first record."""
+    target = BENCH_JSON if path is None else path
+    if target.exists():
+        return json.loads(target.read_text())
     return {}
 
 
@@ -73,8 +79,14 @@ def record_bench(
     config_hash: Optional[str] = None,
     cache_hit_rate: Optional[float] = None,
     span_ms: Optional[Dict[str, float]] = None,
+    path: Optional[Path] = None,
+    extra: Optional[Dict[str, object]] = None,
 ) -> dict:
-    """Merge one benchmark measurement into ``BENCH_core.json``.
+    """Merge one benchmark measurement into a trajectory JSON.
+
+    Defaults to ``BENCH_core.json``; pass ``path`` for a separate
+    trajectory file (the traffic bench keeps ``BENCH_traffic.json``) and
+    ``extra`` for bench-specific fields merged into the entry.
 
     Keyed by bench name so each run refreshes its own entry and leaves the
     rest of the trajectory untouched.  ``sp_computations`` is the process
@@ -84,7 +96,8 @@ def record_bench(
     the bench parameters); ``cache_hit_rate`` and ``span_ms`` come from
     an instrumented harvest run, when one was performed.
     """
-    data = load_bench_json()
+    target = BENCH_JSON if path is None else path
+    data = load_bench_json(target)
     entry = {
         "wall_s": round(wall_s, 4),
         "cases": cases,
@@ -98,6 +111,8 @@ def record_bench(
         entry["cache_hit_rate"] = round(cache_hit_rate, 4)
     if span_ms is not None:
         entry["span_ms"] = {k: round(v, 3) for k, v in sorted(span_ms.items())}
+    if extra:
+        entry.update(extra)
     data[name] = entry
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return data[name]

@@ -1,0 +1,129 @@
+"""Traffic-weighted Table III — the demand-driven workload benchmark.
+
+Pins the ISSUE-level acceptance bar: a sweep that apportions >= 1,000,000
+synthetic flows over a gravity demand matrix on the largest Table II
+topology (AS7018, 115 nodes) must finish in under 30 s single-process —
+possible only because the engine batches flows into OD pairs and pairs
+into (initiator, destination) recovery cases instead of simulating flows
+one by one.
+
+Also asserted on every run:
+
+* repeating the sweep is bit-identical (seeded, RNG-free aggregation);
+* the scenario-sharded parallel path produces the identical table;
+* RTR's weighted recovery equals its weighted optimal rate (Theorem 2
+  survives demand weighting).
+
+The measurement is merged into ``benchmarks/BENCH_traffic.json`` (the
+traffic perf trajectory, uploaded by CI next to ``BENCH_core.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_traffic_weighted.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_utils import BENCH_TRAFFIC_JSON, emit, record_bench
+
+from repro.eval.experiments import traffic_weighted_table3
+from repro.eval.parallel import parallel_traffic
+from repro.eval.report import format_nested_table
+from repro.routing import dijkstra_run_count
+
+BENCH_NAME = "traffic_weighted_table3"
+PINNED = dict(
+    topologies=("AS7018",),
+    n_scenarios=10,
+    seed=0,
+    model="gravity",
+    n_flows=1_000_000,
+)
+
+#: The acceptance bar: one full sweep, single process, on the largest
+#: Table II topology.
+TIME_LIMIT_S = float(os.environ.get("REPRO_TRAFFIC_TIME_LIMIT", "30"))
+
+
+def main(argv: list) -> int:
+    sp_before = dijkstra_run_count()
+    t0 = time.perf_counter()
+    table = traffic_weighted_table3(**PINNED)
+    wall_s = time.perf_counter() - t0
+    sp = dijkstra_run_count() - sp_before
+    print(
+        f"traffic-bench: {PINNED['n_flows']:,} flows / "
+        f"{PINNED['n_scenarios']} scenarios on AS7018 in {wall_s:.3f}s "
+        f"({sp} SP computations)"
+    )
+    emit("traffic_weighted_table3", format_nested_table(table))
+
+    failed = False
+    if wall_s > TIME_LIMIT_S:
+        print(
+            f"traffic-bench: FAIL — wall {wall_s:.3f}s exceeds the "
+            f"{TIME_LIMIT_S:.0f}s single-process bar"
+        )
+        failed = True
+
+    # Determinism: the identical call must reproduce the table bit-for-bit.
+    if traffic_weighted_table3(**PINNED) != table:
+        print("traffic-bench: FAIL — repeated sweep is not bit-identical")
+        failed = True
+
+    # Parity: the scenario-sharded parallel path is the same experiment.
+    par = parallel_traffic(
+        PINNED["topologies"],
+        PINNED["n_scenarios"],
+        seed=PINNED["seed"],
+        model=PINNED["model"],
+        n_flows=PINNED["n_flows"],
+        jobs=2,
+        shards_per_topology=2,
+    )
+    if par != table:
+        print("traffic-bench: FAIL — parallel sweep differs from serial")
+        failed = True
+
+    rtr = table["AS7018"]["RTR"]
+    if rtr["demand_recovery_rate_pct"] != rtr["demand_optimal_rate_pct"]:
+        print(
+            "traffic-bench: FAIL — RTR weighted recovery "
+            f"({rtr['demand_recovery_rate_pct']}) != weighted optimal "
+            f"({rtr['demand_optimal_rate_pct']}); Theorem 2 should survive "
+            "demand weighting"
+        )
+        failed = True
+
+    entry = record_bench(
+        BENCH_NAME,
+        wall_s=wall_s,
+        cases=PINNED["n_scenarios"],
+        sp_computations=sp,
+        path=BENCH_TRAFFIC_JSON,
+        extra={
+            "flows": PINNED["n_flows"],
+            "model": PINNED["model"],
+            "topology": "AS7018",
+            "disrupted_flows": rtr["disrupted_flows"],
+            "demand_recovery_rate_pct": rtr["demand_recovery_rate_pct"],
+            "weighted_stretch": rtr["weighted_stretch"],
+            "max_utilization": rtr["max_utilization"],
+        },
+    )
+    print(f"traffic-bench: recorded to {BENCH_TRAFFIC_JSON}: {entry}")
+    if failed:
+        return 1
+    print("traffic-bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,6 +8,10 @@ Subcommands:
 * ``recover`` — run one recovery episode and print the trace;
 * ``eval <experiment>`` — regenerate one table/figure (table2, fig7,
   table3, fig8, fig9, fig10, fig11, fig12, fig13, table4);
+* ``traffic`` — traffic-weighted Table III: apportion a synthetic flow
+  population over a seeded demand matrix and weight recovery quality by
+  the demand each disrupted pair carries (``--model gravity --flows
+  1000000 --parallel``);
 * ``obs report`` — render the manifest/metrics/span breakdown of an
   instrumented run (``REPRO_OBS=1 repro eval ...`` writes one);
 * ``render`` — draw a topology/failure/recovery episode as SVG.
@@ -193,6 +197,61 @@ def _run_eval_experiment(
     return 0
 
 
+def cmd_traffic(args: argparse.Namespace) -> int:
+    from .eval.report import format_nested_table
+    from .traffic import MATRIX_MODELS
+
+    if args.model not in MATRIX_MODELS:
+        print(
+            f"unknown traffic model {args.model!r}; "
+            f"choose from {sorted(MATRIX_MODELS)}",
+            file=sys.stderr,
+        )
+        return 2
+    topologies = tuple(args.topos.split(",")) if args.topos else tuple(isp_catalog.names())
+    approaches = tuple(args.approaches.split(","))
+    config = {
+        "experiment": "traffic",
+        "model": args.model,
+        "flows": args.flows,
+        "scenarios": args.scenarios,
+        "topologies": list(topologies),
+        "approaches": list(approaches),
+    }
+    with obs.run_context(
+        "traffic", seed=args.seed, config=config, topologies=topologies
+    ) as manifest:
+        if args.parallel:
+            from .eval.parallel import parallel_traffic
+
+            table = parallel_traffic(
+                topologies,
+                args.scenarios,
+                seed=args.seed,
+                model=args.model,
+                total_demand=args.demand,
+                n_flows=args.flows,
+                approaches=approaches,
+                jobs=args.jobs,
+            )
+        else:
+            from .eval.experiments import traffic_weighted_table3
+
+            table = traffic_weighted_table3(
+                topologies,
+                n_scenarios=args.scenarios,
+                seed=args.seed,
+                model=args.model,
+                total_demand=args.demand,
+                n_flows=args.flows,
+                approaches=approaches,
+            )
+        print(format_nested_table(table))
+    if manifest is not None and manifest.artifacts_dir:
+        print(f"obs artifacts: {manifest.artifacts_dir}", file=sys.stderr)
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "report":
         if args.run_dir:
@@ -207,6 +266,17 @@ def cmd_obs(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 1
+        if not run_dir.is_dir():
+            print(f"error: run directory {run_dir} does not exist", file=sys.stderr)
+            return 1
+        if not (run_dir / "manifest.json").exists():
+            print(
+                f"error: {run_dir} is not an instrumented run "
+                "(no manifest.json — pass a directory written by "
+                "REPRO_OBS=1)",
+                file=sys.stderr,
+            )
+            return 1
         try:
             run = obs.load_run(run_dir)
         except (OSError, ValueError) as exc:
@@ -299,6 +369,39 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument("--topos", help="comma-separated AS names (default: all)")
     ev.set_defaults(func=cmd_eval)
+
+    traffic = sub.add_parser(
+        "traffic", help="traffic-weighted Table III (demand-driven workload)"
+    )
+    traffic.add_argument(
+        "--model",
+        default="gravity",
+        help="demand model: gravity, uniform, or hotspot",
+    )
+    traffic.add_argument(
+        "--flows", type=int, default=1_000_000, help="synthetic flow population"
+    )
+    traffic.add_argument(
+        "--demand",
+        type=float,
+        default=None,
+        help="aggregate matrix demand (default: 1000.0)",
+    )
+    traffic.add_argument(
+        "--scenarios", type=int, default=10, help="failure events per topology"
+    )
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--topos", help="comma-separated AS names (default: all)")
+    traffic.add_argument(
+        "--approaches", default="RTR,FCP", help="comma-separated approach names"
+    )
+    traffic.add_argument(
+        "--parallel", action="store_true", help="scenario-sharded process pool"
+    )
+    traffic.add_argument(
+        "--jobs", type=int, default=None, help="worker count for --parallel"
+    )
+    traffic.set_defaults(func=cmd_traffic)
 
     obs_p = sub.add_parser("obs", help="observability artifacts")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)

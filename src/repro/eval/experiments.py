@@ -11,10 +11,11 @@ areas per radius; the defaults here are laptop-sized, and
 from __future__ import annotations
 
 import random
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..failures import fixed_radius_scenarios
+from ..failures import FailureScenario, circle_scenarios, fixed_radius_scenarios
 from ..routing import RoutingTable, SPTCache
 from ..topology import Topology, isp_catalog
 from .cases import (
@@ -347,6 +348,81 @@ def fig13_wasted_transmission(
             a: cdf_points(wasted_transmission_values(irr[a])) for a in approaches
         }
     return out
+
+
+# ----------------------------------------------------------------------
+# Traffic-weighted Table III (repro.traffic — not in the paper)
+# ----------------------------------------------------------------------
+
+#: Flow population of the default traffic sweep.
+DEFAULT_TRAFFIC_FLOWS = 1_000_000
+
+#: Failure events per topology in the default traffic sweep.
+DEFAULT_TRAFFIC_SCENARIOS = 10
+
+
+def traffic_scenario_list(
+    topo: Topology, seed: int, n_scenarios: int
+) -> List[FailureScenario]:
+    """The deterministic scenario sequence of one traffic sweep.
+
+    Shared by the serial driver and every parallel shard worker — the
+    scenario at index ``i`` is identical everywhere for a given
+    ``(topology, seed)``.
+    """
+    rng = random.Random(seed * 9_176 + 29)
+    return list(islice(circle_scenarios(topo, rng), n_scenarios))
+
+
+def traffic_weighted_table3(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    n_scenarios: int = DEFAULT_TRAFFIC_SCENARIOS,
+    seed: int = 0,
+    model: str = "gravity",
+    total_demand: Optional[float] = None,
+    n_flows: int = DEFAULT_TRAFFIC_FLOWS,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+) -> Dict[str, Dict]:
+    """Traffic-weighted Table III: recovery quality weighted by demand.
+
+    For each topology a seeded demand matrix (``model``) is built, a
+    synthetic population of ``n_flows`` flows is apportioned over its OD
+    pairs, and ``n_scenarios`` failure areas are replayed through the
+    flow-level batched simulator (:class:`repro.traffic.TrafficEngine`).
+    Returns ``topology -> {approach -> weighted summary row}`` plus an
+    ``Overall`` entry pooled across topologies, like
+    :func:`table3_recoverable`.
+    """
+    from ..traffic import (
+        DEFAULT_TOTAL_DEMAND,
+        TrafficEngine,
+        TrafficScenarioRecord,
+        aggregate_flows,
+        generate_matrix,
+        summarize_traffic,
+    )
+
+    demand = DEFAULT_TOTAL_DEMAND if total_demand is None else total_demand
+    per_topo: Dict[str, Dict] = {}
+    pooled: Dict[str, List[TrafficScenarioRecord]] = {a: [] for a in approaches}
+    for name in topologies:
+        with obs.span("traffic.sweep", topology=name):
+            topo = _build_topology(name, seed)
+            matrix = generate_matrix(topo, model, total_demand=demand, seed=seed)
+            flow_set = aggregate_flows(matrix, n_flows)
+            obs.inc("traffic.flows.total", flow_set.n_flows)
+            scenarios = traffic_scenario_list(topo, seed, n_scenarios)
+            engine = TrafficEngine(topo, flow_set, approaches=approaches)
+            records = engine.run_sweep(scenarios)
+        per_topo[name] = {
+            a: summarize_traffic(records[a]).as_dict() for a in approaches
+        }
+        for a in approaches:
+            pooled[a].extend(records[a])
+    per_topo["Overall"] = {
+        a: summarize_traffic(pooled[a]).as_dict() for a in approaches
+    }
+    return per_topo
 
 
 def table4_wasted_summary(

@@ -23,6 +23,18 @@ from .cdf import summarize
 COST_TOLERANCE = 1e-9
 
 
+def _rate(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with a defined 0.0 for an empty base.
+
+    Every summary below uses this so that an empty record list — a sweep
+    whose scenarios disrupted nothing, a shard with zero cases of one
+    class — aggregates to a defined all-zero row instead of raising.
+    """
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
 @dataclass
 class CaseRecord:
     """One (test case, approach) outcome with derived metrics."""
@@ -88,10 +100,11 @@ class RecoverableSummary:
 
 
 def summarize_recoverable(records: Sequence[CaseRecord]) -> RecoverableSummary:
-    """Aggregate recoverable-case records into a Table III row."""
-    if not records:
-        raise ValueError("no records to summarize")
-    approach = records[0].approach
+    """Aggregate recoverable-case records into a Table III row.
+
+    Empty input yields a defined all-zero row (never raises).
+    """
+    approach = records[0].approach if records else ""
     n = len(records)
     delivered = [r for r in records if r.delivered]
     optimal = [r for r in delivered if r.is_optimal()]
@@ -100,11 +113,11 @@ def summarize_recoverable(records: Sequence[CaseRecord]) -> RecoverableSummary:
     return RecoverableSummary(
         approach=approach,
         cases=n,
-        recovery_rate=len(delivered) / n,
-        optimal_recovery_rate=len(optimal) / n,
+        recovery_rate=_rate(len(delivered), n),
+        optimal_recovery_rate=_rate(len(optimal), n),
         max_stretch=max((s for s in stretches if s is not None), default=0.0),
-        max_sp_computations=max(sp),
-        mean_sp_computations=sum(sp) / n,
+        max_sp_computations=max(sp, default=0),
+        mean_sp_computations=_rate(sum(sp), n),
     )
 
 
@@ -133,19 +146,20 @@ class IrrecoverableSummary:
 
 
 def summarize_irrecoverable(records: Sequence[CaseRecord]) -> IrrecoverableSummary:
-    """Aggregate irrecoverable-case records into a Table IV row."""
-    if not records:
-        raise ValueError("no records to summarize")
-    approach = records[0].approach
+    """Aggregate irrecoverable-case records into a Table IV row.
+
+    Empty input yields a defined all-zero row (never raises).
+    """
+    approach = records[0].approach if records else ""
     sp = [r.result.sp_computations for r in records]
     wasted = [r.result.wasted_transmission() for r in records]
     return IrrecoverableSummary(
         approach=approach,
         cases=len(records),
-        avg_wasted_computation=sum(sp) / len(sp),
-        max_wasted_computation=max(sp),
-        avg_wasted_transmission=sum(wasted) / len(wasted),
-        max_wasted_transmission=max(wasted),
+        avg_wasted_computation=_rate(sum(sp), len(sp)),
+        max_wasted_computation=max(sp, default=0),
+        avg_wasted_transmission=_rate(sum(wasted), len(wasted)),
+        max_wasted_transmission=max(wasted, default=0.0),
         false_deliveries=sum(1 for r in records if r.delivered),
     )
 
@@ -191,10 +205,11 @@ class ResilienceSummary:
 
 
 def summarize_resilience(records: Sequence[CaseRecord]) -> ResilienceSummary:
-    """Aggregate a (possibly chaotic) sweep into a resilience row."""
-    if not records:
-        raise ValueError("no records to summarize")
-    approach = records[0].approach
+    """Aggregate a (possibly chaotic) sweep into a resilience row.
+
+    Empty input yields a defined all-zero row (never raises).
+    """
+    approach = records[0].approach if records else ""
     n = len(records)
     by_status: Dict[str, int] = {}
     for r in records:
@@ -212,10 +227,10 @@ def summarize_resilience(records: Sequence[CaseRecord]) -> ResilienceSummary:
         fallbacks=by_status.get("fallback", 0),
         fallback_deliveries=fallback_deliveries,
         errors=by_status.get("error", 0),
-        delivery_ratio=all_delivered / n,
-        rtr_delivery_ratio=by_status.get("delivered", 0) / n,
-        mean_retries=sum(retries) / n,
-        max_retries=max(retries),
+        delivery_ratio=_rate(all_delivered, n),
+        rtr_delivery_ratio=_rate(by_status.get("delivered", 0), n),
+        mean_retries=_rate(sum(retries), n),
+        max_retries=max(retries, default=0),
     )
 
 

@@ -202,6 +202,188 @@ def _gather_records(
     return merged
 
 
+def shard_scenario_indices(n_scenarios: int, n_shards: int) -> List[List[int]]:
+    """Split ``range(n_scenarios)`` into contiguous balanced chunks.
+
+    Contiguity keeps the merged record list in serial scenario order;
+    trailing shards may be empty when there are fewer scenarios than
+    shards.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    base, extra = divmod(n_scenarios, n_shards)
+    shards: List[List[int]] = []
+    start = 0
+    for s in range(n_shards):
+        size = base + (1 if s < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+#: Per-process memo of traffic engines, keyed by the full generation
+#: parameter tuple — matrix, flow apportionment, capacities, and the
+#: scenario list are all deterministic functions of the key.
+_TRAFFIC_WORKER_STATE: Dict[tuple, tuple] = {}
+
+
+def _worker_traffic_engine(
+    name: str,
+    model: str,
+    total_demand: float,
+    n_flows: int,
+    seed: int,
+    n_scenarios: int,
+    approaches: Tuple[str, ...],
+) -> tuple:
+    key = (name, model, total_demand, n_flows, seed, n_scenarios, approaches)
+    state = _TRAFFIC_WORKER_STATE.get(key)
+    if state is None:
+        from ..traffic import TrafficEngine, aggregate_flows, generate_matrix
+        from .experiments import _build_topology, traffic_scenario_list
+
+        topo = _build_topology(name, seed)
+        matrix = generate_matrix(topo, model, total_demand=total_demand, seed=seed)
+        flow_set = aggregate_flows(matrix, n_flows)
+        scenarios = traffic_scenario_list(topo, seed, n_scenarios)
+        engine = TrafficEngine(topo, flow_set, approaches=approaches)
+        state = (engine, scenarios)
+        _TRAFFIC_WORKER_STATE[key] = state
+    return state
+
+
+def _run_traffic_shard(
+    name: str,
+    model: str,
+    total_demand: float,
+    n_flows: int,
+    seed: int,
+    n_scenarios: int,
+    approaches: Tuple[str, ...],
+    shard_index: int,
+    n_shards: int,
+) -> Dict[str, list]:
+    """Run one (topology, scenario-shard) chunk — shared by workers and
+    the parent-side serial retry (which must not touch obs state)."""
+    engine, scenarios = _worker_traffic_engine(
+        name, model, total_demand, n_flows, seed, n_scenarios, approaches
+    )
+    indices = shard_scenario_indices(n_scenarios, n_shards)[shard_index]
+    records: Dict[str, list] = {a: [] for a in approaches}
+    for index in indices:
+        per_approach = engine.run_scenario(scenarios[index], index)
+        for a in approaches:
+            records[a].append(per_approach[a])
+    return records
+
+
+def _traffic_shard_worker(args) -> tuple:
+    """Pool task wrapper: obs reset/snapshot around one traffic shard."""
+    (name, model, total_demand, n_flows, seed, n_scenarios, approaches,
+     shard_index, n_shards) = args
+    if obs.enabled():
+        obs.reset()
+    records = _run_traffic_shard(
+        name, model, total_demand, n_flows, seed, n_scenarios, approaches,
+        shard_index, n_shards,
+    )
+    snap = obs.snapshot() if obs.enabled() else None
+    return name, shard_index, records, snap
+
+
+def parallel_traffic(
+    topologies: Sequence[str],
+    n_scenarios: int,
+    seed: int = 0,
+    model: str = "gravity",
+    total_demand: Optional[float] = None,
+    n_flows: Optional[int] = None,
+    approaches: Sequence[str] = ("RTR", "FCP"),
+    jobs: Optional[int] = None,
+    shards_per_topology: Optional[int] = None,
+) -> Dict[str, Dict]:
+    """Traffic-weighted Table III via scenario-sharded pool execution.
+
+    Each (topology, scenario-shard) pair is one pool task; every
+    per-scenario :class:`~repro.traffic.TrafficScenarioRecord` is a pure
+    function of ``(topology, matrix, flows, scenario)``, so the parent's
+    merge in scenario order feeds :func:`~repro.traffic.summarize_traffic`
+    the exact record sequence of the serial driver — output is
+    bit-identical to
+    :func:`~repro.eval.experiments.traffic_weighted_table3` for the same
+    arguments (asserted by tests).  Failed shards are retried serially in
+    the parent; worker obs snapshots merge in sorted (topology, shard)
+    order.
+    """
+    from ..traffic import (
+        DEFAULT_TOTAL_DEMAND,
+        merge_scenario_records,
+        summarize_traffic,
+    )
+    from .experiments import DEFAULT_TRAFFIC_FLOWS
+
+    demand = DEFAULT_TOTAL_DEMAND if total_demand is None else total_demand
+    flows = DEFAULT_TRAFFIC_FLOWS if n_flows is None else n_flows
+    approaches = tuple(approaches)
+    workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    n_shards = shards_per_topology if shards_per_topology is not None else workers
+    n_shards = max(1, min(n_shards, max(1, n_scenarios)))
+    work = [
+        (name, model, demand, flows, seed, n_scenarios, approaches, s, n_shards)
+        for name in topologies
+        for s in range(n_shards)
+    ]
+    by_shard: Dict[str, Dict[int, Dict[str, list]]] = {}
+    snapshots: Dict[Tuple[str, int], dict] = {}
+    retry: List[tuple] = []
+    with obs.span("traffic.parallel", shards=len(work)):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (item, pool.submit(_traffic_shard_worker, item)) for item in work
+            ]
+            for item, future in futures:
+                try:
+                    name, shard_index, records, snap = future.result()
+                except Exception as exc:  # noqa: BLE001 — shard isolation
+                    log.warning(
+                        "traffic worker for shard %s/%d failed (%s: %s); "
+                        "retrying serially in parent",
+                        item[0],
+                        item[7],
+                        type(exc).__name__,
+                        exc,
+                    )
+                    retry.append(item)
+                    continue
+                by_shard.setdefault(name, {})[shard_index] = records
+                if snap is not None:
+                    snapshots[(name, shard_index)] = snap
+        for item in retry:
+            obs.inc("eval.parallel.retries")
+            records = _run_traffic_shard(*item)
+            by_shard.setdefault(item[0], {})[item[7]] = records
+        for key in sorted(snapshots):
+            obs.merge_snapshot(snapshots[key])
+    results: Dict[str, Dict] = {}
+    pooled: Dict[str, list] = {a: [] for a in approaches}
+    for name in topologies:
+        merged = {
+            a: merge_scenario_records(
+                [by_shard[name][s][a] for s in range(n_shards)]
+            )
+            for a in approaches
+        }
+        results[name] = {
+            a: summarize_traffic(merged[a]).as_dict() for a in approaches
+        }
+        for a in approaches:
+            pooled[a].extend(merged[a])
+    results["Overall"] = {
+        a: summarize_traffic(pooled[a]).as_dict() for a in approaches
+    }
+    return results
+
+
 def parallel_table3(
     topologies: Sequence[str],
     n_cases: int,

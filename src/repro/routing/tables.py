@@ -10,10 +10,10 @@ next hop is unreachable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Mapping, Optional
 
 from ..errors import UnknownNodeError
-from ..topology import Topology
+from ..topology import Link, Topology
 from .cache import SPTCache
 from .dijkstra import reverse_shortest_path_tree
 from .paths import Path
@@ -78,3 +78,39 @@ class RoutingTable:
         """Force computation of every per-destination tree."""
         for dst in self.topo.nodes():
             self.tree_to(dst)
+
+    def edge_loads_to(
+        self, destination: int, demands: Mapping[int, float]
+    ) -> Dict[Link, float]:
+        """Per-link demand flowing toward ``destination``, in one tree pass.
+
+        ``demands`` maps source node -> demand rate; every source routes
+        along its default next-hop chain, and each tree edge accumulates
+        the total demand crossing it.  One reverse-SPT traversal serves
+        all sources of the root (the traffic layer's batched alternative
+        to walking ``path(source, destination)`` per pair), and sources
+        are processed in decreasing (distance, id) order so float sums
+        have a fixed order regardless of dict iteration.
+        """
+        tree = self.tree_to(destination)
+        carry: Dict[int, float] = {}
+        for source, demand in demands.items():
+            if source == destination or demand <= 0.0 or not tree.reaches(source):
+                continue
+            carry[source] = carry.get(source, 0.0) + demand
+        loads: Dict[Link, float] = {}
+        # Every reachable node can relay someone else's demand, so the
+        # sweep covers the whole tree, leaves (max distance) first.
+        order = sorted(tree.reachable_nodes(), key=lambda n: (-tree.distance(n), n))
+        for node in order:
+            flow = carry.get(node, 0.0)
+            if flow <= 0.0:
+                continue
+            nxt = tree.next_hop(node)
+            if nxt is None:
+                continue
+            link = Link.of(node, nxt)
+            loads[link] = loads.get(link, 0.0) + flow
+            if nxt != destination:
+                carry[nxt] = carry.get(nxt, 0.0) + flow
+        return loads

@@ -17,7 +17,7 @@ from .delays import (
     PaperDelayModel,
 )
 from .events import EventQueue
-from .stats import RecoveryAccounting, RecoveryResult
+from .stats import RecoveryAccounting, RecoveryResult, aggregate_results
 from .trace import DropEvent, ForwardingTrace, HopEvent
 from .engine import (
     ForwardingEngine,
@@ -42,6 +42,7 @@ __all__ = [
     "EventQueue",
     "RecoveryAccounting",
     "RecoveryResult",
+    "aggregate_results",
     "DropEvent",
     "ForwardingTrace",
     "HopEvent",

@@ -18,8 +18,9 @@ run; the evaluation layer reads the totals.  The header-byte *timeline*
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..routing import Path
 
@@ -69,6 +70,14 @@ class RecoveryAccounting:
         if not self.header_timeline:
             return 0
         return self.header_timeline[-1][1]
+
+    def mean_header_bytes(self) -> float:
+        """Mean recovery-header size over all hops (0.0 with no hops)."""
+        if not self.header_timeline:
+            return 0.0
+        return math.fsum(b for _, b in self.header_timeline) / len(
+            self.header_timeline
+        )
 
 
 @dataclass
@@ -123,3 +132,29 @@ class RecoveryResult:
         if self.delivered:
             return 0.0
         return float(self.drop_packet_bytes * self.drop_hops)
+
+
+def aggregate_results(results: Sequence[RecoveryResult]) -> Dict[str, float]:
+    """Sweep-level aggregate of raw recovery outcomes.
+
+    Every denominator is guarded: zero results, or zero *delivered*
+    results, yield defined zeros — a sweep where every packet was dropped
+    (or that ran no cases at all) still aggregates instead of raising.
+    """
+    n = len(results)
+    delivered = [r for r in results if r.delivered]
+    costs = [r.path.cost for r in delivered if r.path is not None]
+    sp = [r.sp_computations for r in results]
+    wasted = [r.wasted_transmission() for r in results]
+    phase1 = [r.phase1_duration for r in results if r.phase1_duration > 0.0]
+    return {
+        "results": float(n),
+        "delivered": float(len(delivered)),
+        "delivery_ratio": len(delivered) / n if n else 0.0,
+        "mean_path_cost": math.fsum(costs) / len(costs) if costs else 0.0,
+        "mean_sp_computations": math.fsum(sp) / n if n else 0.0,
+        "total_wasted_transmission": math.fsum(wasted),
+        "mean_phase1_duration": (
+            math.fsum(phase1) / len(phase1) if phase1 else 0.0
+        ),
+    }

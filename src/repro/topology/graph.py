@@ -69,6 +69,10 @@ class Topology:
         self._adjacency: Dict[int, Dict[int, float]] = {}
         self._link_index: Dict[Link, int] = {}
         self._links: List[Link] = []
+        #: Optional per-link capacity annotations (demand units/s).  Pure
+        #: metadata for the traffic layer: capacities never affect routing,
+        #: so mutating them does not bump the version or the CSR view.
+        self._capacities: Dict[Link, float] = {}
         self._cross_links: Optional[Dict[Link, Set[Link]]] = None
         #: Bumped on every structural mutation; keys the CSR view cache.
         self._version: int = 0
@@ -126,6 +130,7 @@ class Topology:
         del self._adjacency[b][a]
         index = self._link_index.pop(link)
         self._links[index] = None  # type: ignore[call-overload]
+        self._capacities.pop(link, None)
         self._cross_links = None
         self._version += 1
 
@@ -229,6 +234,32 @@ class Topology:
         return self.segment(link).length()
 
     # ------------------------------------------------------------------
+    # Capacity annotations (traffic layer)
+    # ------------------------------------------------------------------
+
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Annotate ``link`` with a carrying capacity (demand units/s)."""
+        if link not in self._link_index:
+            raise UnknownLinkError(link)
+        if capacity <= 0:
+            raise TopologyError(f"link capacity must be positive: {link}")
+        self._capacities[link] = float(capacity)
+
+    def link_capacity(self, link: Link) -> Optional[float]:
+        """Capacity of ``link``, or ``None`` when not provisioned."""
+        if link not in self._link_index:
+            raise UnknownLinkError(link)
+        return self._capacities.get(link)
+
+    def link_capacities(self) -> Dict[Link, float]:
+        """Every provisioned capacity, keyed by link (a copy)."""
+        return dict(self._capacities)
+
+    def clear_link_capacities(self) -> None:
+        """Drop every capacity annotation."""
+        self._capacities.clear()
+
+    # ------------------------------------------------------------------
     # Cross links (precomputed per §III-C)
     # ------------------------------------------------------------------
 
@@ -314,6 +345,7 @@ class Topology:
             clone._adjacency[link.v][link.u] = self._adjacency[link.v][link.u]
             clone._link_index[link] = len(clone._links)
             clone._links.append(link)
+        clone._capacities = dict(self._capacities)
         return clone
 
     def __repr__(self) -> str:

@@ -1,0 +1,410 @@
+"""Flow-level batched traffic simulator over the recovery pipeline.
+
+The per-packet engine (:mod:`repro.simulator.engine`) simulates one
+probe at a time; running it once per user flow would cost millions of
+walks that all repeat each other.  This engine exploits the two
+aggregation levels the protocol itself induces:
+
+1. **flows → OD pairs** — every flow of one (source, destination) pair
+   shares a fate, so a :class:`~repro.traffic.flows.FlowSet` collapses
+   the population to at most ``n·(n-1)`` batches;
+2. **OD pairs → recovery cases** — disrupted pairs funnel into the
+   router that first sees the broken next hop, and RTR's phase-1 walk,
+   phase-2 trees, and the baselines' per-case state depend only on
+   (initiator, destination, scenario).  Pairs sharing both collapse
+   into one :class:`~repro.eval.cases.TestCase`, executed once through
+   the existing :class:`~repro.eval.runner.EvaluationRunner` (which
+   reuses the sweep-wide :class:`~repro.routing.SPTCache` and the CSR
+   kernels underneath).
+
+The outcome of each case is then multiplied back out by the demand and
+flow counts of its member pairs, producing the traffic-weighted records
+of :mod:`repro.traffic.metrics` — a sweep over millions of flows costs
+the same shortest-path work as the unweighted evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..baselines import Oracle
+from ..chaos import FaultPlan
+from ..core import RTRConfig
+from ..eval.cases import CaseSet, TestCase
+from ..eval.metrics import CaseRecord
+from ..eval.runner import EvaluationRunner
+from ..failures import FailureScenario, LocalView
+from ..routing import RoutingTable, SPTCache
+from ..topology import Link, Topology
+from .capacity import LinkLoadMap, provision_capacities
+from .flows import FlowSet
+from .metrics import TrafficScenarioRecord, safe_div
+
+log = obs.get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class DisruptedPair:
+    """One OD pair whose default path broke with a live source."""
+
+    source: int
+    destination: int
+    #: First router on the default path whose next hop became unreachable
+    #: — the node that initiates recovery for this pair's traffic.
+    initiator: int
+    demand: float
+    flows: int
+
+
+@dataclass
+class PairClassification:
+    """How one scenario partitions the demand matrix."""
+
+    disrupted: List[DisruptedPair]
+    #: source -> demand, per destination, for pairs whose path survived.
+    intact_by_destination: Dict[int, Dict[int, float]]
+    failed_source_demand: float
+    failed_source_flows: int
+    #: Demand with no pre-failure route at all (disconnected snapshots).
+    unrouted_demand: float
+
+
+def classify_pairs(
+    topo: Topology,
+    routing: RoutingTable,
+    scenario: FailureScenario,
+    flow_set: FlowSet,
+) -> PairClassification:
+    """Partition every demand-carrying pair under one failure scenario.
+
+    A pair is *disrupted* when its source is live and its default
+    next-hop chain crosses a failed adjacency; the first router with the
+    broken next hop is its recovery initiator.  The walk is memoized per
+    destination (a node's verdict settles every pair routed through it),
+    mirroring :func:`repro.eval.cases.count_failed_routing_paths`.
+    """
+    view = LocalView(scenario)
+    disrupted: List[DisruptedPair] = []
+    intact: Dict[int, Dict[int, float]] = {}
+    failed_demand: List[float] = []
+    failed_flows = 0
+    unrouted: List[float] = []
+
+    # verdict[v]: None = path from v survives; otherwise the initiator id.
+    by_destination: Dict[int, List] = {}
+    for batch in flow_set.batches():
+        by_destination.setdefault(batch.destination, []).append(batch)
+
+    for destination in sorted(by_destination):
+        tree = routing.tree_to(destination)
+        verdict: Dict[int, Optional[int]] = {
+            destination: None if scenario.is_node_live(destination) else destination
+        }
+        # A failed destination never terminates a walk cleanly: every
+        # adjacency into it is down, so the last live hop is the
+        # initiator.  The sentinel above is never consulted in that case.
+        for batch in by_destination[destination]:
+            source = batch.source
+            if not scenario.is_node_live(source):
+                failed_demand.append(batch.demand)
+                failed_flows += batch.flows
+                continue
+            if not tree.reaches(source):
+                unrouted.append(batch.demand)
+                continue
+            chain: List[int] = []
+            node = source
+            outcome: Optional[int] = None
+            while node not in verdict:
+                chain.append(node)
+                nxt = tree.next_hop(node)
+                if nxt is None or not view.is_neighbor_reachable(node, nxt):
+                    # nxt is None only at the tree root, and a live,
+                    # reached destination is pre-seeded — so this is the
+                    # first broken adjacency: ``node`` initiates recovery.
+                    outcome = node
+                    break
+                node = nxt
+            else:
+                outcome = verdict[node]
+            for visited in chain:
+                verdict[visited] = outcome
+            if outcome is None:
+                intact.setdefault(destination, {})[source] = batch.demand
+            else:
+                disrupted.append(
+                    DisruptedPair(
+                        source=source,
+                        destination=destination,
+                        initiator=outcome,
+                        demand=batch.demand,
+                        flows=batch.flows,
+                    )
+                )
+    return PairClassification(
+        disrupted=disrupted,
+        intact_by_destination=intact,
+        failed_source_demand=math.fsum(failed_demand),
+        failed_source_flows=failed_flows,
+        unrouted_demand=math.fsum(unrouted),
+    )
+
+
+class TrafficEngine:
+    """Runs traffic-weighted recovery sweeps over one topology.
+
+    Owns the per-topology shared state (routing table, SPT pool,
+    provisioned capacities) exactly like
+    :class:`~repro.eval.runner.EvaluationRunner` owns the unweighted
+    equivalent — one engine serves every scenario of a sweep.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        flow_set: FlowSet,
+        routing: Optional[RoutingTable] = None,
+        approaches: Sequence[str] = ("RTR", "FCP"),
+        cache: Optional[SPTCache] = None,
+        rtr_config: Optional[RTRConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        provision: bool = True,
+    ) -> None:
+        self.topo = topo
+        self.flow_set = flow_set
+        self.matrix = flow_set.matrix
+        self.cache = cache if cache is not None else SPTCache()
+        self.routing = (
+            routing if routing is not None else RoutingTable(topo, cache=self.cache)
+        )
+        self.approaches = tuple(approaches)
+        self.rtr_config = rtr_config
+        self.fault_plan = fault_plan
+        # Always (re)provision: capacities are a deterministic function of
+        # (topology, matrix), so overwriting keeps utilization numbers
+        # independent of whatever sweep touched this shared topology
+        # before.  Pass ``provision=False`` to keep custom capacities.
+        if provision:
+            provision_capacities(topo, self.matrix, self.routing)
+        self.runner = EvaluationRunner(
+            topo,
+            routing=self.routing,
+            approaches=self.approaches,
+            rtr_config=rtr_config,
+            fault_plan=fault_plan,
+            sp_cache=self.cache,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_scenario(
+        self, scenario: FailureScenario, scenario_index: int = 0
+    ) -> Dict[str, TrafficScenarioRecord]:
+        """One failure event: classify, batch, recover, weight."""
+        with obs.span("traffic.scenario", index=scenario_index):
+            classification = classify_pairs(
+                self.topo, self.routing, scenario, self.flow_set
+            )
+            obs.inc("traffic.pairs.disrupted", len(classification.disrupted))
+            obs.inc(
+                "traffic.flows.disrupted",
+                sum(p.flows for p in classification.disrupted),
+            )
+            groups = self._group_pairs(classification.disrupted)
+            cases = self._cases_for_groups(scenario, groups)
+            case_set = CaseSet(
+                topo=self.topo,
+                routing=self.routing,
+                scenarios=[scenario],
+                cases=cases,
+            )
+            records = self.runner.run(case_set)
+            out: Dict[str, TrafficScenarioRecord] = {}
+            for approach in self.approaches:
+                out[approach] = self._weight_records(
+                    approach,
+                    scenario_index,
+                    classification,
+                    groups,
+                    records[approach],
+                )
+        return out
+
+    def run_sweep(
+        self, scenarios: Sequence[FailureScenario]
+    ) -> Dict[str, List[TrafficScenarioRecord]]:
+        """All scenarios in order; returns per-approach record lists."""
+        results: Dict[str, List[TrafficScenarioRecord]] = {
+            a: [] for a in self.approaches
+        }
+        for index, scenario in enumerate(scenarios):
+            per_approach = self.run_scenario(scenario, index)
+            for approach in self.approaches:
+                results[approach].append(per_approach[approach])
+        return results
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _group_pairs(
+        disrupted: Sequence[DisruptedPair],
+    ) -> Dict[Tuple[int, int], List[DisruptedPair]]:
+        """Pairs keyed by their shared (initiator, destination) case."""
+        groups: Dict[Tuple[int, int], List[DisruptedPair]] = {}
+        for pair in disrupted:
+            groups.setdefault((pair.initiator, pair.destination), []).append(pair)
+        return groups
+
+    def _cases_for_groups(
+        self,
+        scenario: FailureScenario,
+        groups: Dict[Tuple[int, int], List[DisruptedPair]],
+    ) -> List[TestCase]:
+        """One :class:`TestCase` per group, classified by the oracle."""
+        oracle = Oracle(self.topo, scenario, cache=self.cache)
+        cases: List[TestCase] = []
+        for initiator, destination in sorted(groups):
+            trigger = self.routing.next_hop(initiator, destination)
+            assert trigger is not None  # the walk crossed this adjacency
+            optimal = oracle.optimal_cost(initiator, destination)
+            cases.append(
+                TestCase(
+                    scenario_index=0,
+                    initiator=initiator,
+                    destination=destination,
+                    trigger=trigger,
+                    recoverable=optimal is not None,
+                    optimal_cost=optimal,
+                )
+            )
+        return cases
+
+    def _weight_records(
+        self,
+        approach: str,
+        scenario_index: int,
+        classification: PairClassification,
+        groups: Dict[Tuple[int, int], List[DisruptedPair]],
+        case_records: Sequence[CaseRecord],
+    ) -> TrafficScenarioRecord:
+        """Multiply per-case outcomes by their member pairs' traffic."""
+        by_case: Dict[Tuple[int, int], CaseRecord] = {
+            (r.case.initiator, r.case.destination): r for r in case_records
+        }
+        disrupted_demand: List[float] = []
+        recoverable_demand: List[float] = []
+        irrecoverable_demand: List[float] = []
+        delivered_demand: List[float] = []
+        delivered_recoverable: List[float] = []
+        optimal_demand: List[float] = []
+        stretch_sum: List[float] = []
+        stretch_weight: List[float] = []
+        phase1_loss: List[float] = []
+        fallback_demand: List[float] = []
+        error_demand: List[float] = []
+        max_stretch = 0.0
+        disrupted_flows = 0
+        delivered_flows = 0
+
+        loads = LinkLoadMap(self.topo)
+        # Surviving pairs keep their default paths: one batched tree pass
+        # per destination, destinations in sorted order (deterministic).
+        for destination in sorted(classification.intact_by_destination):
+            loads.merge_loads(
+                self.routing.edge_loads_to(
+                    destination,
+                    classification.intact_by_destination[destination],
+                )
+            )
+
+        for key in sorted(groups):
+            record = by_case[key]
+            group = groups[key]
+            group_demand = math.fsum(p.demand for p in group)
+            group_flows = sum(p.flows for p in group)
+            disrupted_demand.append(group_demand)
+            disrupted_flows += group_flows
+            if record.case.recoverable:
+                recoverable_demand.append(group_demand)
+            else:
+                irrecoverable_demand.append(group_demand)
+            result = record.result
+            if result.delivered:
+                delivered_demand.append(group_demand)
+                delivered_flows += group_flows
+                if record.case.recoverable:
+                    delivered_recoverable.append(group_demand)
+                stretch = record.stretch()
+                if stretch is not None:
+                    stretch_sum.append(group_demand * stretch)
+                    stretch_weight.append(group_demand)
+                    max_stretch = max(max_stretch, stretch)
+                if record.is_optimal():
+                    optimal_demand.append(group_demand)
+            if result.status == "fallback":
+                fallback_demand.append(group_demand)
+            elif result.status == "error":
+                error_demand.append(group_demand)
+            # Traffic black-holed while the initiator's phase-1 walk was
+            # still in flight (§IV-B delay model): rate × window.
+            if result.phase1_duration > 0.0:
+                phase1_loss.append(group_demand * result.phase1_duration)
+            # Post-recovery load: the surviving prefix up to the initiator
+            # carries the pair's traffic either way; the recovery path
+            # carries it onward only when delivery succeeded.
+            for pair in group:
+                self._add_prefix_load(loads, pair)
+            if result.delivered and result.path is not None:
+                loads.add_path(result.path, group_demand)
+
+        overloaded = loads.overloaded_links()
+        record = TrafficScenarioRecord(
+            approach=approach,
+            scenario_index=scenario_index,
+            total_demand=self.matrix.total_demand,
+            total_flows=self.flow_set.n_flows,
+            disrupted_pairs=len(classification.disrupted),
+            disrupted_demand=math.fsum(disrupted_demand),
+            disrupted_flows=disrupted_flows,
+            failed_source_demand=classification.failed_source_demand,
+            failed_source_flows=classification.failed_source_flows,
+            recoverable_demand=math.fsum(recoverable_demand),
+            irrecoverable_demand=math.fsum(irrecoverable_demand),
+            delivered_demand=math.fsum(delivered_demand),
+            delivered_flows=delivered_flows,
+            delivered_recoverable_demand=math.fsum(delivered_recoverable),
+            optimal_demand=math.fsum(optimal_demand),
+            stretch_demand_sum=math.fsum(stretch_sum),
+            stretch_demand_weight=math.fsum(stretch_weight),
+            max_stretch=max_stretch,
+            phase1_loss=math.fsum(phase1_loss),
+            fallback_demand=math.fsum(fallback_demand),
+            error_demand=math.fsum(error_demand),
+            max_utilization=loads.max_utilization(),
+            overloaded_links=len(overloaded),
+            overload_demand=loads.overload_demand(),
+        )
+        obs.inc(f"traffic.demand.delivered.{approach}", record.delivered_demand)
+        obs.observe("traffic.max_utilization", record.max_utilization)
+        if overloaded:
+            obs.inc("traffic.links.overloaded", len(overloaded))
+        obs.gauge(
+            f"traffic.delivered_fraction.{approach}",
+            safe_div(record.delivered_demand, record.disrupted_demand),
+        )
+        return record
+
+    def _add_prefix_load(self, loads: LinkLoadMap, pair: DisruptedPair) -> None:
+        """Load the surviving default-path prefix source -> initiator."""
+        if pair.source == pair.initiator:
+            return
+        tree = self.routing.tree_to(pair.destination)
+        node = pair.source
+        while node != pair.initiator:
+            nxt = tree.next_hop(node)
+            assert nxt is not None  # the classification walk got through
+            loads.add_link(Link.of(node, nxt), pair.demand)
+            node = nxt

@@ -1,0 +1,184 @@
+"""Seeded traffic-matrix generators.
+
+Three demand models, all deterministic for a given ``(topology, model,
+seed)`` — the RNG is seeded through :func:`zlib.crc32` (stable across
+processes, unlike the salted ``hash()``) and every node iteration is in
+sorted id order, so the same call produces bit-identical matrices in
+every worker process regardless of ``PYTHONHASHSEED``:
+
+* **uniform** — every ordered pair carries the same demand;
+* **gravity** — demand ∝ (mass of source × mass of destination) /
+  friction(distance); mass combines node degree with a seeded
+  log-normal population factor, friction grows with the embedded
+  Euclidean distance.  This is the classic gravity model R3-style
+  schemes assume as input;
+* **hotspot** — a seeded subset of nodes receives a configurable
+  fraction of all demand (flash crowds / data-center ingress), the rest
+  spreads uniformly.
+
+Every generator rescales its matrix so the aggregate demand equals the
+requested ``total_demand`` exactly (up to float rounding of one final
+multiplication) — asserted by the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import EvaluationError
+from ..topology import Topology
+from .matrix import TrafficMatrix
+
+#: Default aggregate demand of a generated matrix (abstract units/s).
+DEFAULT_TOTAL_DEMAND = 1_000.0
+
+#: Distance scale of the gravity friction term, in coordinate units
+#: (the catalog topologies live in a 2000 x 2000 area).
+GRAVITY_DISTANCE_SCALE = 500.0
+
+#: Exponent of the gravity friction term.
+GRAVITY_ALPHA = 1.0
+
+
+def _seeded_rng(topo: Topology, model: str, seed: int) -> random.Random:
+    """A process-stable RNG for one (topology, model, seed) triple."""
+    tag = f"{model}:{topo.name}".encode()
+    return random.Random(zlib.crc32(tag) * 1_000_003 + seed)
+
+
+def _nodes(topo: Topology) -> List[int]:
+    nodes = sorted(topo.nodes())
+    if len(nodes) < 2:
+        raise EvaluationError(
+            f"topology {topo.name!r} has {len(nodes)} nodes; "
+            "traffic needs at least 2"
+        )
+    return nodes
+
+
+def _rescaled(
+    weights: Dict[Tuple[int, int], float], total_demand: float, name: str
+) -> TrafficMatrix:
+    """Normalize raw pair weights to the requested aggregate demand."""
+    if total_demand < 0:
+        raise EvaluationError(f"total_demand must be >= 0, got {total_demand}")
+    mass = math.fsum(weights[p] for p in sorted(weights))
+    if mass <= 0.0:
+        raise EvaluationError(f"traffic model {name!r} produced zero total weight")
+    factor = total_demand / mass
+    return TrafficMatrix({p: w * factor for p, w in weights.items()}, name=name)
+
+
+def uniform_matrix(
+    topo: Topology,
+    total_demand: float = DEFAULT_TOTAL_DEMAND,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Equal demand on every ordered pair of distinct nodes."""
+    del seed  # accepted for interface symmetry; the model has no randomness
+    nodes = _nodes(topo)
+    n_pairs = len(nodes) * (len(nodes) - 1)
+    per_pair = total_demand / n_pairs
+    demands = {
+        (s, d): per_pair for s in nodes for d in nodes if s != d
+    }
+    return TrafficMatrix(demands, name=f"uniform-{topo.name}")
+
+
+def gravity_matrix(
+    topo: Topology,
+    total_demand: float = DEFAULT_TOTAL_DEMAND,
+    seed: int = 0,
+    distance_scale: float = GRAVITY_DISTANCE_SCALE,
+    alpha: float = GRAVITY_ALPHA,
+) -> TrafficMatrix:
+    """Gravity demand from node coordinates, degrees, and seeded masses.
+
+    ``demand(s, d) ∝ m_s * m_d / (1 + (dist(s, d) / distance_scale)^alpha)``
+    with ``m_i = degree(i) * lognormal_i`` — well-connected nodes near
+    each other exchange the most traffic, long-haul pairs less.
+    """
+    nodes = _nodes(topo)
+    rng = _seeded_rng(topo, "gravity", seed)
+    mass = {
+        node: topo.degree(node) * math.exp(rng.gauss(0.0, 0.5)) for node in nodes
+    }
+    weights: Dict[Tuple[int, int], float] = {}
+    for s in nodes:
+        ps = topo.position(s)
+        for d in nodes:
+            if s == d:
+                continue
+            pd = topo.position(d)
+            dist = math.hypot(ps.x - pd.x, ps.y - pd.y)
+            friction = 1.0 + (dist / distance_scale) ** alpha
+            weights[(s, d)] = mass[s] * mass[d] / friction
+    return _rescaled(weights, total_demand, f"gravity-{topo.name}")
+
+
+def hotspot_matrix(
+    topo: Topology,
+    total_demand: float = DEFAULT_TOTAL_DEMAND,
+    seed: int = 0,
+    n_hotspots: int = 3,
+    hotspot_fraction: float = 0.7,
+) -> TrafficMatrix:
+    """A few seeded hotspot destinations draw most of the demand.
+
+    ``hotspot_fraction`` of the aggregate goes to pairs whose destination
+    is one of the ``n_hotspots`` highest-degree nodes (ties broken by a
+    seeded shuffle), the remainder spreads uniformly over all other pairs.
+    """
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise EvaluationError(
+            f"hotspot_fraction must be in [0, 1], got {hotspot_fraction}"
+        )
+    nodes = _nodes(topo)
+    rng = _seeded_rng(topo, "hotspot", seed)
+    n_hotspots = max(1, min(n_hotspots, len(nodes)))
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    ranked = sorted(shuffled, key=lambda n: -topo.degree(n))
+    hotspots = set(ranked[:n_hotspots])
+
+    hot_pairs = [(s, d) for s in nodes for d in nodes if s != d and d in hotspots]
+    cold_pairs = [(s, d) for s in nodes for d in nodes if s != d and d not in hotspots]
+    weights: Dict[Tuple[int, int], float] = {}
+    if hot_pairs:
+        per_hot = hotspot_fraction / len(hot_pairs)
+        for pair in hot_pairs:
+            weights[pair] = per_hot
+    cold_share = 1.0 - hotspot_fraction if cold_pairs else 0.0
+    if cold_pairs and cold_share > 0.0:
+        per_cold = cold_share / len(cold_pairs)
+        for pair in cold_pairs:
+            weights[pair] = per_cold
+    return _rescaled(weights, total_demand, f"hotspot-{topo.name}")
+
+
+#: Registry of demand models, keyed by CLI / experiment names.
+MATRIX_MODELS: Dict[str, Callable[..., TrafficMatrix]] = {
+    "uniform": uniform_matrix,
+    "gravity": gravity_matrix,
+    "hotspot": hotspot_matrix,
+}
+
+
+def generate_matrix(
+    topo: Topology,
+    model: str = "gravity",
+    total_demand: float = DEFAULT_TOTAL_DEMAND,
+    seed: int = 0,
+    **kwargs: object,
+) -> TrafficMatrix:
+    """Build a demand matrix by model name (see :data:`MATRIX_MODELS`)."""
+    try:
+        generator = MATRIX_MODELS[model]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown traffic model {model!r}; known: {sorted(MATRIX_MODELS)}"
+        ) from None
+    return generator(topo, total_demand=total_demand, seed=seed, **kwargs)

@@ -1,0 +1,60 @@
+"""Tests for the traffic-weighted Table III experiment driver."""
+
+import pytest
+
+from repro.eval.experiments import traffic_scenario_list, traffic_weighted_table3
+
+TOPOS = ("AS1239",)
+KW = dict(n_scenarios=2, seed=0, n_flows=20_000)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return traffic_weighted_table3(TOPOS, **KW)
+
+
+class TestTrafficWeightedTable3:
+    def test_shape(self, table):
+        assert set(table) == {"AS1239", "Overall"}
+        for rows in table.values():
+            assert set(rows) == {"RTR", "FCP"}
+            for approach, row in rows.items():
+                assert row["approach"] == approach
+                assert row["scenarios"] == 2
+
+    def test_rates_are_percentages(self, table):
+        for rows in table.values():
+            for row in rows.values():
+                assert 0.0 <= row["demand_recovery_rate_pct"] <= 100.0
+                assert 0.0 <= row["demand_optimal_rate_pct"] <= 100.0
+
+    def test_rtr_weighted_stretch_at_least_one(self, table):
+        row = table["AS1239"]["RTR"]
+        if row["demand_recovery_rate_pct"] > 0:
+            assert row["weighted_stretch"] >= 1.0
+
+    def test_deterministic(self, table):
+        assert traffic_weighted_table3(TOPOS, **KW) == table
+
+    def test_overall_pools_single_topology(self, table):
+        assert table["Overall"] == table["AS1239"]
+
+
+class TestScenarioList:
+    def test_stable_and_seeded(self):
+        from repro.eval.experiments import _build_topology
+
+        topo = _build_topology("AS1239", 0)
+        a = traffic_scenario_list(topo, 3, 4)
+        b = traffic_scenario_list(topo, 3, 4)
+        assert len(a) == 4
+        assert [s.failed_links for s in a] == [s.failed_links for s in b]
+        c = traffic_scenario_list(topo, 4, 4)
+        assert [s.failed_links for s in a] != [s.failed_links for s in c]
+
+    def test_every_scenario_fails_something(self):
+        from repro.eval.experiments import _build_topology
+
+        topo = _build_topology("AS1239", 0)
+        for scenario in traffic_scenario_list(topo, 0, 6):
+            assert scenario.failed_links

@@ -88,6 +88,54 @@ class TestEvalCommand:
             main(["eval", "fig99"])
 
 
+class TestTrafficCommand:
+    def test_small_sweep(self, capsys):
+        code = main(
+            [
+                "traffic",
+                "--topos", "AS1239",
+                "--scenarios", "2",
+                "--flows", "20000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "demand_recovery_rate_pct" in out
+        assert "Overall" in out
+        assert "RTR" in out and "FCP" in out
+
+    def test_unknown_model_rejected(self, capsys):
+        code = main(
+            ["traffic", "--topos", "AS1239", "--model", "antigravity"]
+        )
+        assert code == 2
+        assert "unknown traffic model" in capsys.readouterr().err
+
+
+class TestObsReportErrors:
+    def test_missing_run_dir(self, capsys, tmp_path):
+        code = main(["obs", "report", str(tmp_path / "nope")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one clear line, not a traceback
+        assert "does not exist" in err
+
+    def test_empty_run_dir(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["obs", "report", str(empty)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "not an instrumented run" in err
+        assert "manifest.json" in err
+
+    def test_no_runs_under_base(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "none"))
+        code = main(["obs", "report"])
+        assert code == 1
+        assert "no instrumented runs" in capsys.readouterr().err
+
+
 class TestRenderCommand:
     def test_plain_topology(self, tmp_path, capsys):
         target = tmp_path / "t.svg"

@@ -1,0 +1,78 @@
+"""Integration: traffic-weighted sweeps are bit-identical serial vs
+parallel, and unchanged by instrumentation (REPRO_OBS on vs off)."""
+
+import pytest
+
+from repro import obs
+from repro.eval.experiments import traffic_weighted_table3
+from repro.eval.parallel import parallel_traffic, shard_scenario_indices
+
+TOPOS = ("AS1239",)
+N_SCENARIOS = 3
+KW = dict(seed=2, model="gravity", n_flows=50_000)
+
+
+@pytest.fixture(scope="module")
+def serial_table():
+    return traffic_weighted_table3(
+        TOPOS, n_scenarios=N_SCENARIOS, **KW
+    )
+
+
+class TestSerialParallelParity:
+    def test_bit_identical(self, serial_table):
+        parallel_table = parallel_traffic(
+            TOPOS, N_SCENARIOS, jobs=2, shards_per_topology=2, **KW
+        )
+        assert parallel_table == serial_table
+
+    def test_single_shard_degenerate(self, serial_table):
+        parallel_table = parallel_traffic(
+            TOPOS, N_SCENARIOS, jobs=1, shards_per_topology=1, **KW
+        )
+        assert parallel_table == serial_table
+
+
+class TestObsInvariance:
+    def test_results_identical_with_obs_on(self, serial_table, monkeypatch):
+        # Instrumentation must never change results — only record them.
+        monkeypatch.setenv("REPRO_OBS", "1")
+        obs.enable()
+        try:
+            obs.reset()
+            instrumented = traffic_weighted_table3(
+                TOPOS, n_scenarios=N_SCENARIOS, **KW
+            )
+            counters = obs.snapshot()["metrics"]["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert instrumented == serial_table
+        assert counters.get("traffic.flows.total", 0) == 50_000
+        assert counters.get("traffic.pairs.disrupted", 0) > 0
+
+    def test_parallel_identical_with_obs_on(self, serial_table, monkeypatch):
+        # Spawn-safe: worker processes re-read REPRO_OBS at import.
+        monkeypatch.setenv("REPRO_OBS", "1")
+        obs.enable()
+        try:
+            obs.reset()
+            instrumented = parallel_traffic(
+                TOPOS, N_SCENARIOS, jobs=2, shards_per_topology=2, **KW
+            )
+        finally:
+            obs.disable()
+            obs.reset()
+        assert instrumented == serial_table
+
+
+class TestScenarioSharding:
+    def test_partition_is_exact(self):
+        for n, k in ((0, 1), (3, 5), (7, 3), (10, 4)):
+            shards = shard_scenario_indices(n, k)
+            flat = [i for shard in shards for i in shard]
+            assert flat == list(range(n))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_scenario_indices(3, 0)

@@ -59,3 +59,43 @@ class TestRoutingTable:
                 node = table.next_hop(node, 24)
                 walked.append(node)
             assert walked == list(path.nodes)
+
+
+class TestEdgeLoadsTo:
+    """The batched per-root load sweep must equal per-path accumulation."""
+
+    def test_matches_per_path_accumulation(self, grid5):
+        from repro.topology import Link
+
+        table = RoutingTable(grid5)
+        demands = {n: float(1 + (n * 7) % 5) for n in range(1, 25)}
+        batched = table.edge_loads_to(0, demands)
+        expected = {}
+        for source, demand in demands.items():
+            path = table.path(source, 0)
+            for a, b in path.hops():
+                link = Link.of(a, b)
+                expected[link] = expected.get(link, 0.0) + demand
+        assert set(batched) == set(expected)
+        for link in expected:
+            assert batched[link] == pytest.approx(expected[link], rel=1e-12)
+
+    def test_relayed_carry_forwarded(self, tiny_line):
+        # Demand entering at the far end must traverse *both* links.
+        from repro.topology import Link
+
+        table = RoutingTable(tiny_line)
+        loads = table.edge_loads_to(0, {2: 5.0})
+        assert loads[Link.of(1, 2)] == 5.0
+        assert loads[Link.of(0, 1)] == 5.0
+
+    def test_unreachable_sources_ignored(self, tiny_line):
+        tiny_line.remove_link(1, 2)
+        table = RoutingTable(tiny_line)
+        loads = table.edge_loads_to(0, {1: 2.0, 2: 9.0})
+        from repro.topology import Link
+
+        assert loads == {Link.of(0, 1): 2.0}
+
+    def test_empty_demands(self, grid5):
+        assert RoutingTable(grid5).edge_loads_to(0, {}) == {}

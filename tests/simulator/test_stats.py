@@ -63,3 +63,60 @@ class TestRecoveryResult:
             approach="FCP", delivered=False, path=None, accounting=acc
         )
         assert result.sp_computations == 4
+
+
+class TestAggregateResults:
+    """Regression: guarded denominators in sweep-level aggregation."""
+
+    def _result(self, delivered, sp=0, phase1=0.0, drop_hops=0, drop_bytes=0):
+        acc = RecoveryAccounting()
+        acc.count_sp(sp)
+        return RecoveryResult(
+            approach="RTR",
+            delivered=delivered,
+            path=Path((1, 2), 2.0) if delivered else None,
+            accounting=acc,
+            phase1_duration=phase1,
+            drop_hops=drop_hops,
+            drop_packet_bytes=drop_bytes,
+        )
+
+    def test_empty_is_defined_zeros(self):
+        from repro.simulator import aggregate_results
+
+        agg = aggregate_results([])
+        assert agg["results"] == 0.0
+        assert agg["delivery_ratio"] == 0.0
+        assert agg["mean_path_cost"] == 0.0
+        assert agg["mean_sp_computations"] == 0.0
+        assert agg["mean_phase1_duration"] == 0.0
+
+    def test_zero_delivered_packets(self):
+        from repro.simulator import aggregate_results
+
+        agg = aggregate_results(
+            [self._result(False, sp=2, drop_hops=3, drop_bytes=1000)]
+        )
+        assert agg["delivered"] == 0.0
+        assert agg["delivery_ratio"] == 0.0
+        # No delivered path -> defined zero, not a division error.
+        assert agg["mean_path_cost"] == 0.0
+        assert agg["total_wasted_transmission"] == 3000.0
+
+    def test_mixed_sweep(self):
+        from repro.simulator import aggregate_results
+
+        agg = aggregate_results(
+            [self._result(True, sp=1, phase1=0.01), self._result(False, sp=3)]
+        )
+        assert agg["delivery_ratio"] == 0.5
+        assert agg["mean_sp_computations"] == 2.0
+        assert agg["mean_path_cost"] == 2.0
+        assert agg["mean_phase1_duration"] == 0.01
+
+    def test_mean_header_bytes_guarded(self):
+        acc = RecoveryAccounting()
+        assert acc.mean_header_bytes() == 0.0
+        acc.record_hop(0.001, 100)
+        acc.record_hop(0.001, 300)
+        assert acc.mean_header_bytes() == 200.0

@@ -1,0 +1,117 @@
+"""Tests for repro.traffic.capacity (loads, provisioning, overload)."""
+
+import pytest
+
+from repro.routing import Path, RoutingTable
+from repro.topology import Link
+from repro.traffic import (
+    DEFAULT_HEADROOM,
+    LinkLoadMap,
+    TrafficMatrix,
+    baseline_loads,
+    provision_capacities,
+)
+
+
+class TestBaselineLoads:
+    def test_line_topology_loads(self, tiny_line):
+        # 0 - 1 - 2: the (0,2)/(2,0) demands cross both links.
+        matrix = TrafficMatrix({(0, 2): 6.0, (2, 0): 4.0, (0, 1): 2.0})
+        loads = baseline_loads(tiny_line, matrix)
+        assert loads[Link.of(0, 1)] == pytest.approx(12.0)
+        assert loads[Link.of(1, 2)] == pytest.approx(10.0)
+
+    def test_deterministic(self, grid5):
+        from repro.traffic import gravity_matrix
+
+        matrix = gravity_matrix(grid5, seed=4)
+        a = baseline_loads(grid5, matrix)
+        b = baseline_loads(grid5, matrix)
+        assert a == b
+
+
+class TestProvisioning:
+    def test_headroom_over_baseline(self, tiny_line):
+        matrix = TrafficMatrix({(0, 2): 6.0})
+        capacities = provision_capacities(tiny_line, matrix)
+        assert capacities[Link.of(0, 1)] == pytest.approx(
+            DEFAULT_HEADROOM * 6.0
+        )
+        assert tiny_line.link_capacity(Link.of(0, 1)) == pytest.approx(
+            DEFAULT_HEADROOM * 6.0
+        )
+
+    def test_idle_links_get_floor(self, grid5):
+        matrix = TrafficMatrix({(0, 1): 10.0})
+        capacities = provision_capacities(grid5, matrix)
+        assert all(c > 0.0 for c in capacities.values())
+        assert len(capacities) == len(list(grid5.links()))
+
+    def test_intact_network_never_overloaded(self, grid5):
+        from repro.traffic import gravity_matrix
+
+        matrix = gravity_matrix(grid5, seed=1)
+        routing = RoutingTable(grid5)
+        provision_capacities(grid5, matrix, routing)
+        loads = LinkLoadMap(grid5)
+        loads.merge_loads(baseline_loads(grid5, matrix, routing))
+        assert loads.max_utilization() <= 1.0 / DEFAULT_HEADROOM + 1e-9
+        assert loads.overloaded_links() == []
+
+
+class TestLinkLoadMap:
+    def test_add_path_and_utilization(self, tiny_line):
+        tiny_line.set_link_capacity(Link.of(0, 1), 10.0)
+        tiny_line.set_link_capacity(Link.of(1, 2), 4.0)
+        loads = LinkLoadMap(tiny_line)
+        loads.add_path(Path((0, 1, 2), 2.0), 8.0)
+        assert loads.load(Link.of(0, 1)) == 8.0
+        assert loads.utilization(Link.of(0, 1)) == pytest.approx(0.8)
+        assert loads.max_utilization() == pytest.approx(2.0)
+
+    def test_overload_queries(self, tiny_line):
+        tiny_line.set_link_capacity(Link.of(0, 1), 10.0)
+        tiny_line.set_link_capacity(Link.of(1, 2), 4.0)
+        loads = LinkLoadMap(tiny_line)
+        loads.add_path(Path((0, 1, 2), 2.0), 8.0)
+        over = loads.overloaded_links()
+        assert [link for link, _ in over] == [Link.of(1, 2)]
+        assert loads.overload_demand() == pytest.approx(4.0)
+
+    def test_zero_demand_ignored(self, tiny_line):
+        loads = LinkLoadMap(tiny_line)
+        loads.add_link(Link.of(0, 1), 0.0)
+        assert len(loads) == 0
+
+
+class TestCapacityMetadata:
+    def test_capacity_survives_copy(self, tiny_line):
+        link = Link.of(0, 1)
+        tiny_line.set_link_capacity(link, 5.0)
+        clone = tiny_line.copy()
+        assert clone.link_capacity(link) == 5.0
+
+    def test_capacity_does_not_invalidate_csr(self, tiny_line):
+        # Capacities are pure metadata: the cached CSR view (and with it
+        # every SPT cache entry keyed on the version) must survive.
+        view = tiny_line.csr()
+        tiny_line.set_link_capacity(Link.of(0, 1), 5.0)
+        assert tiny_line.csr() is view
+
+    def test_unknown_link_rejected(self, tiny_line):
+        from repro.errors import UnknownLinkError
+
+        with pytest.raises(UnknownLinkError):
+            tiny_line.set_link_capacity(Link.of(0, 2), 5.0)
+
+    def test_nonpositive_capacity_rejected(self, tiny_line):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            tiny_line.set_link_capacity(Link.of(0, 1), 0.0)
+
+    def test_remove_link_drops_capacity(self, grid5):
+        link = next(iter(sorted(grid5.links())))
+        grid5.set_link_capacity(link, 5.0)
+        grid5.remove_link(link.u, link.v)
+        assert link not in grid5.link_capacities()

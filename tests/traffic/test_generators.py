@@ -1,0 +1,125 @@
+"""Property tests for the traffic-matrix generators.
+
+The ISSUE-level invariants: non-negative entries, a zero diagonal,
+seed-stability across processes (independent of ``PYTHONHASHSEED``),
+and aggregate demand matching the request.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+from repro.errors import EvaluationError
+from repro.topology import grid_topology
+from repro.traffic import (
+    MATRIX_MODELS,
+    generate_matrix,
+    gravity_matrix,
+    hotspot_matrix,
+    uniform_matrix,
+)
+
+MODELS = sorted(MATRIX_MODELS)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return grid_topology(5, 5)
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestModelProperties:
+    def test_entries_non_negative(self, topo, model):
+        matrix = generate_matrix(topo, model, total_demand=100.0, seed=3)
+        assert all(demand > 0.0 for _, demand in matrix.items())
+
+    def test_zero_diagonal(self, topo, model):
+        matrix = generate_matrix(topo, model, total_demand=100.0, seed=3)
+        assert all(s != d for s, d in matrix.pairs())
+        for node in topo.nodes():
+            assert matrix.demand(node, node) == 0.0
+
+    def test_total_matches_request(self, topo, model):
+        for total in (1.0, 1000.0, 123.456):
+            matrix = generate_matrix(topo, model, total_demand=total, seed=3)
+            assert matrix.total_demand == pytest.approx(total, rel=1e-9)
+
+    def test_seed_stable_within_process(self, topo, model):
+        a = generate_matrix(topo, model, total_demand=50.0, seed=7)
+        b = generate_matrix(topo, model, total_demand=50.0, seed=7)
+        assert a.digest() == b.digest()
+
+    def test_covers_every_node(self, topo, model):
+        matrix = generate_matrix(topo, model, total_demand=100.0, seed=3)
+        assert matrix.sources() == sorted(topo.nodes())
+
+
+class TestSeededVariation:
+    def test_gravity_seeds_differ(self, topo):
+        a = gravity_matrix(topo, seed=1)
+        b = gravity_matrix(topo, seed=2)
+        assert a.digest() != b.digest()
+
+    def test_uniform_ignores_seed(self, topo):
+        assert uniform_matrix(topo, seed=1).digest() == uniform_matrix(
+            topo, seed=2
+        ).digest()
+
+    def test_hotspot_concentration(self, topo):
+        matrix = hotspot_matrix(
+            topo, total_demand=100.0, seed=0, n_hotspots=2, hotspot_fraction=0.7
+        )
+        by_destination = {}
+        for (s, d), demand in matrix.items():
+            by_destination[d] = by_destination.get(d, 0.0) + demand
+        top2 = sum(sorted(by_destination.values(), reverse=True)[:2])
+        assert top2 == pytest.approx(70.0, rel=1e-9)
+
+    def test_hotspot_fraction_validated(self, topo):
+        with pytest.raises(EvaluationError):
+            hotspot_matrix(topo, hotspot_fraction=1.5)
+
+    def test_unknown_model_rejected(self, topo):
+        with pytest.raises(EvaluationError, match="unknown traffic model"):
+            generate_matrix(topo, "antigravity")
+
+
+_CHILD_DIGEST = """
+import sys
+from repro.topology import grid_topology
+from repro.traffic import generate_matrix
+topo = grid_topology(5, 5)
+for model in {models!r}:
+    print(generate_matrix(topo, model, total_demand=50.0, seed=9).digest())
+"""
+
+
+class TestCrossProcessStability:
+    def test_digests_independent_of_pythonhashseed(self, topo):
+        """The same (topology, model, seed) must generate bit-identical
+        matrices in fresh processes under different hash seeds — the
+        parallel sweep depends on it."""
+        expected = [
+            generate_matrix(topo, model, total_demand=50.0, seed=9).digest()
+            for model in MODELS
+        ]
+        script = _CHILD_DIGEST.format(models=MODELS)
+        for hash_seed in ("0", "4242"):
+            src = str(Path(repro.__file__).resolve().parents[1])
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src, env.get("PYTHONPATH")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert out.stdout.split() == expected, f"PYTHONHASHSEED={hash_seed}"
