@@ -35,6 +35,8 @@ from repro.routing import dijkstra_run_count
 
 BENCH_NAME = "table3_recoverable"
 PINNED = dict(topologies=("AS209", "AS1239", "AS3549"), n_cases=120, seed=0)
+#: Registered schemes the pinned sweep runs (the driver's default set).
+SCHEMES = ["RTR", "FCP", "MRC"]
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
 
 
@@ -92,6 +94,7 @@ def main(argv: list) -> int:
             wall_s=wall_s,
             cases=PINNED["n_cases"],
             sp_computations=sp,
+            schemes=SCHEMES,
             **_harvest_obs(),
         )
         print(f"perf-smoke: baseline written to {BENCH_JSON}: {entry}")

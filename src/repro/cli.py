@@ -7,7 +7,10 @@ Subcommands:
 * ``topo stats t.json`` / ``topo stats AS1239`` — structural statistics;
 * ``recover`` — run one recovery episode and print the trace;
 * ``eval <experiment>`` — regenerate one table/figure (table2, fig7,
-  table3, fig8, fig9, fig10, fig11, fig12, fig13, table4);
+  table3, fig8, fig9, fig10, fig11, fig12, fig13, table4), with
+  ``--approaches`` accepting any registered scheme name;
+* ``schemes`` — list the registered recovery schemes (built-ins plus
+  plugins from ``REPRO_SCHEME_MODULES``);
 * ``traffic`` — traffic-weighted Table III: apportion a synthetic flow
   population over a seeded demand matrix and weight recovery quality by
   the demand each disrupted pair carries (``--model gravity --flows
@@ -134,29 +137,59 @@ def _pick_pair(args, topo, scenario, rtr, view):
     return None
 
 
+def _parse_approaches(spec: Optional[str]) -> Optional[tuple]:
+    """Split and registry-validate a ``--approaches`` value.
+
+    Returns ``None`` when no value was given (drivers keep their
+    defaults); raises the registry's :class:`ValueError` — listing
+    registered schemes and the nearest match — on an unknown name.
+    """
+    if not spec:
+        return None
+    from .schemes import validate_names
+
+    approaches = tuple(part.strip() for part in spec.split(",") if part.strip())
+    validate_names(approaches)
+    return approaches
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
     topologies = tuple(args.topos.split(",")) if args.topos else tuple(isp_catalog.names())
     n = args.cases
+    try:
+        approaches = _parse_approaches(args.approaches)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     name = args.experiment
+    config = {"experiment": name, "cases": n, "topologies": list(topologies)}
+    if approaches is not None:
+        config["approaches"] = list(approaches)
     with obs.run_context(
         f"eval-{name}",
         seed=args.seed,
-        config={"experiment": name, "cases": n, "topologies": list(topologies)},
+        config=config,
         topologies=topologies,
     ) as manifest:
-        code = _run_eval_experiment(args, name, topologies, n)
+        code = _run_eval_experiment(args, name, topologies, n, approaches)
     if manifest is not None and manifest.artifacts_dir:
         print(f"obs artifacts: {manifest.artifacts_dir}", file=sys.stderr)
     return code
 
 
 def _run_eval_experiment(
-    args: argparse.Namespace, name: str, topologies: tuple, n: int
+    args: argparse.Namespace,
+    name: str,
+    topologies: tuple,
+    n: int,
+    approaches: Optional[tuple] = None,
 ) -> int:
     from .eval import experiments
     from .eval.report import format_cdf, format_nested_table, format_series, format_table
 
+    # Drivers keep their paper-default comparison sets unless overridden.
+    extra = {} if approaches is None else {"approaches": approaches}
     if name == "table2":
         print(format_table(experiments.table2_topologies(seed=args.seed)))
     elif name == "fig7":
@@ -164,7 +197,11 @@ def _run_eval_experiment(
         for topo_name, data in out.items():
             print(f"{topo_name:8s} {format_cdf(data['cdf'])}")
     elif name == "table3":
-        print(format_nested_table(experiments.table3_recoverable(topologies, n, args.seed)))
+        print(
+            format_nested_table(
+                experiments.table3_recoverable(topologies, n, args.seed, **extra)
+            )
+        )
     elif name in ("fig8", "fig9", "fig12", "fig13"):
         driver = {
             "fig8": experiments.fig8_stretch,
@@ -172,12 +209,12 @@ def _run_eval_experiment(
             "fig12": experiments.fig12_wasted_computation,
             "fig13": experiments.fig13_wasted_transmission,
         }[name]
-        out = driver(topologies, n, args.seed)
+        out = driver(topologies, n, args.seed, **extra)
         for topo_name, series in out.items():
             for approach, cdf in series.items():
                 print(f"{topo_name:8s} {approach:4s} {format_cdf(cdf)}")
     elif name == "fig10":
-        out = experiments.fig10_transmission_timeline(topologies, n, args.seed)
+        out = experiments.fig10_transmission_timeline(topologies, n, args.seed, **extra)
         for topo_name, series in out.items():
             for approach, pts in series.items():
                 print(f"{topo_name:8s} {approach:4s} {format_series(pts)}")
@@ -188,12 +225,22 @@ def _run_eval_experiment(
         for topo_name, series in out.items():
             print(f"{topo_name:8s} {format_series(series)}")
     elif name == "table4":
-        table = experiments.table4_wasted_summary(topologies, n, args.seed)
+        table = experiments.table4_wasted_summary(topologies, n, args.seed, **extra)
         print(format_nested_table({k: v for k, v in table.items() if k != "Savings"}))
         print(f"savings: {table.get('Savings')}")
     else:
         print(f"unknown experiment {name!r}")
         return 2
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    from .schemes import get_scheme, scheme_names
+
+    names = scheme_names()
+    width = max(len(n) for n in names)
+    for name in names:
+        print(f"{name:<{width}s}  {get_scheme(name).describe()}")
     return 0
 
 
@@ -209,7 +256,11 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         )
         return 2
     topologies = tuple(args.topos.split(",")) if args.topos else tuple(isp_catalog.names())
-    approaches = tuple(args.approaches.split(","))
+    try:
+        approaches = _parse_approaches(args.approaches) or ("RTR", "FCP")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = {
         "experiment": "traffic",
         "model": args.model,
@@ -368,7 +419,17 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--cases", type=int, default=150)
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument("--topos", help="comma-separated AS names (default: all)")
+    ev.add_argument(
+        "--approaches",
+        help="comma-separated registered scheme names "
+        "(default: the experiment's paper comparison set; see `repro schemes`)",
+    )
     ev.set_defaults(func=cmd_eval)
+
+    schemes = sub.add_parser(
+        "schemes", help="list the registered recovery schemes"
+    )
+    schemes.set_defaults(func=cmd_schemes)
 
     traffic = sub.add_parser(
         "traffic", help="traffic-weighted Table III (demand-driven workload)"

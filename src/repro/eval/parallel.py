@@ -30,10 +30,8 @@ from __future__ import annotations
 
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import obs
 from ..routing import SPTCache
 from .cases import CaseSet, TestCase, generate_cases
 from .metrics import (
@@ -43,8 +41,7 @@ from .metrics import (
     summarize_recoverable,
 )
 from .runner import ALL_APPROACHES, EvaluationRunner
-
-log = obs.get_logger(__name__)
+from .sharding import ShardTask, run_sharded
 
 # Module-level workers: ProcessPoolExecutor requires picklable callables.
 
@@ -116,24 +113,6 @@ def _run_shard(
     return runner.run_cases(case_set, shard)
 
 
-def _shard_worker(args) -> tuple:
-    """Run one (topology, shard) chunk and return its raw case records.
-
-    When instrumentation is on, the worker's process-local obs state is
-    reset at task start and its snapshot shipped back with the records,
-    so the parent can fold per-shard counters and span aggregates into
-    one registry (see :func:`_gather_records`).
-    """
-    name, n_rec, n_irr, seed, approaches, shard_index, n_shards = args
-    if obs.enabled():
-        obs.reset()
-    records = _run_shard(
-        name, n_rec, n_irr, seed, approaches, shard_index, n_shards
-    )
-    snap = obs.snapshot() if obs.enabled() else None
-    return name, shard_index, records, snap
-
-
 def _gather_records(
     topologies: Sequence[str],
     n_recoverable: int,
@@ -146,11 +125,8 @@ def _gather_records(
 ) -> Dict[str, Dict[str, List[CaseRecord]]]:
     """Fan (topology, shard) tasks out and reassemble serial-order records.
 
-    A shard whose worker dies (pool crash, pickling failure, injected
-    chaos tripping the process) is retried serially in the parent rather
-    than aborting the sweep — the retry runs against the parent's own
-    obs registry, while successful workers ship snapshots that are merged
-    in sorted (topology, shard) order so float sums are reproducible.
+    Pool mechanics (worker obs snapshots, parent-side serial retry,
+    sorted snapshot merge) live in :func:`repro.eval.sharding.run_sharded`.
     ``chunksize`` is kept for API compatibility; tasks are submitted
     individually so per-shard failures stay isolated.
     """
@@ -159,46 +135,22 @@ def _gather_records(
     n_shards = shards_per_topology if shards_per_topology is not None else workers
     n_shards = max(1, n_shards)
     approaches = tuple(approaches)
-    work = [
-        (name, n_recoverable, n_irrecoverable, seed, approaches, s, n_shards)
+    tasks: List[ShardTask] = [
+        (
+            (name, s),
+            _run_shard,
+            (name, n_recoverable, n_irrecoverable, seed, approaches, s, n_shards),
+        )
         for name in topologies
         for s in range(n_shards)
     ]
-    by_shard: Dict[str, Dict[int, Dict[str, List[CaseRecord]]]] = {}
-    snapshots: Dict[Tuple[str, int], dict] = {}
-    retry: List[tuple] = []
-    with obs.span("eval.parallel", shards=len(work)):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [(item, pool.submit(_shard_worker, item)) for item in work]
-            for item, future in futures:
-                try:
-                    name, shard_index, records, snap = future.result()
-                except Exception as exc:  # noqa: BLE001 — shard isolation
-                    log.warning(
-                        "worker for shard %s/%d failed (%s: %s); "
-                        "retrying serially in parent",
-                        item[0],
-                        item[5],
-                        type(exc).__name__,
-                        exc,
-                    )
-                    retry.append(item)
-                    continue
-                by_shard.setdefault(name, {})[shard_index] = records
-                if snap is not None:
-                    snapshots[(name, shard_index)] = snap
-        for item in retry:
-            obs.inc("eval.parallel.retries")
-            records = _run_shard(*item)
-            by_shard.setdefault(item[0], {})[item[5]] = records
-        for key in sorted(snapshots):
-            obs.merge_snapshot(snapshots[key])
+    by_shard = run_sharded(tasks, span_name="eval.parallel", workers=workers)
     merged: Dict[str, Dict[str, List[CaseRecord]]] = {}
     for name in topologies:
         merged[name] = {a: [] for a in approaches}
         for s in range(n_shards):
             for a in approaches:
-                merged[name][a].extend(by_shard[name][s][a])
+                merged[name][a].extend(by_shard[(name, s)][a])
     return merged
 
 
@@ -277,20 +229,6 @@ def _run_traffic_shard(
     return records
 
 
-def _traffic_shard_worker(args) -> tuple:
-    """Pool task wrapper: obs reset/snapshot around one traffic shard."""
-    (name, model, total_demand, n_flows, seed, n_scenarios, approaches,
-     shard_index, n_shards) = args
-    if obs.enabled():
-        obs.reset()
-    records = _run_traffic_shard(
-        name, model, total_demand, n_flows, seed, n_scenarios, approaches,
-        shard_index, n_shards,
-    )
-    snap = obs.snapshot() if obs.enabled() else None
-    return name, shard_index, records, snap
-
-
 def parallel_traffic(
     topologies: Sequence[str],
     n_scenarios: int,
@@ -328,48 +266,22 @@ def parallel_traffic(
     workers = jobs if jobs is not None else (os.cpu_count() or 1)
     n_shards = shards_per_topology if shards_per_topology is not None else workers
     n_shards = max(1, min(n_shards, max(1, n_scenarios)))
-    work = [
-        (name, model, demand, flows, seed, n_scenarios, approaches, s, n_shards)
+    tasks: List[ShardTask] = [
+        (
+            (name, s),
+            _run_traffic_shard,
+            (name, model, demand, flows, seed, n_scenarios, approaches, s, n_shards),
+        )
         for name in topologies
         for s in range(n_shards)
     ]
-    by_shard: Dict[str, Dict[int, Dict[str, list]]] = {}
-    snapshots: Dict[Tuple[str, int], dict] = {}
-    retry: List[tuple] = []
-    with obs.span("traffic.parallel", shards=len(work)):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (item, pool.submit(_traffic_shard_worker, item)) for item in work
-            ]
-            for item, future in futures:
-                try:
-                    name, shard_index, records, snap = future.result()
-                except Exception as exc:  # noqa: BLE001 — shard isolation
-                    log.warning(
-                        "traffic worker for shard %s/%d failed (%s: %s); "
-                        "retrying serially in parent",
-                        item[0],
-                        item[7],
-                        type(exc).__name__,
-                        exc,
-                    )
-                    retry.append(item)
-                    continue
-                by_shard.setdefault(name, {})[shard_index] = records
-                if snap is not None:
-                    snapshots[(name, shard_index)] = snap
-        for item in retry:
-            obs.inc("eval.parallel.retries")
-            records = _run_traffic_shard(*item)
-            by_shard.setdefault(item[0], {})[item[7]] = records
-        for key in sorted(snapshots):
-            obs.merge_snapshot(snapshots[key])
+    by_shard = run_sharded(tasks, span_name="traffic.parallel", workers=workers)
     results: Dict[str, Dict] = {}
     pooled: Dict[str, list] = {a: [] for a in approaches}
     for name in topologies:
         merged = {
             a: merge_scenario_records(
-                [by_shard[name][s][a] for s in range(n_shards)]
+                [by_shard[(name, s)][a] for s in range(n_shards)]
             )
             for a in approaches
         }

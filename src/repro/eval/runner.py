@@ -1,16 +1,22 @@
-"""Runs recovery approaches over generated test cases.
+"""Runs registered recovery schemes over generated test cases.
 
-One :class:`EvaluationRunner` owns the per-topology shared state (routing
-table, MRC configurations) and instantiates per-scenario protocol state
-exactly once per failure area, the way a real deployment would: routers
-keep one set of tables per convergence window, not per flow.
+The runner is a thin, scheme-agnostic driver over the
+:mod:`repro.schemes` lifecycle: it resolves approach names through the
+scheme registry, calls :meth:`~repro.schemes.RecoveryScheme.prepare`
+once per topology, :meth:`~repro.schemes.RecoveryScheme.instantiate`
+once per failure scenario (one IGP convergence window, the way a real
+deployment amortizes state), and
+:meth:`~repro.schemes.SchemeInstance.recover` once per case.  Any name
+in the registry — built-in, OSPF baseline, or a plugin loaded via
+``REPRO_SCHEME_MODULES`` — runs here with zero runner edits.
 
 Robustness: a sweep is thousands of cases, and in degraded-mode
 experiments individual cases *will* hit pathological corners.  With
-``isolate_errors`` (the default) a protocol crash on one case is caught
+``isolate_errors`` (the default) a scheme crash on one case is caught
 and recorded as an ``error`` :class:`~repro.eval.metrics.CaseRecord`
 instead of aborting the whole sweep; pass a
-:class:`~repro.chaos.FaultPlan` to run RTR under injected faults.
+:class:`~repro.chaos.FaultPlan` to run every scheme under injected
+faults (schemes wrap in :class:`~repro.schemes.FaultedScheme`).
 """
 
 from __future__ import annotations
@@ -18,24 +24,23 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import obs
-from ..baselines import FCP, MRC, BackupConfiguration, generate_configurations
 from ..chaos import FaultPlan
-from ..core import RTR, RTRConfig
-from ..failures import FailureScenario
+from ..core import RTRConfig
 from ..routing import RoutingTable, SPTCache
+from ..schemes import SchemeInstance, build_schemes, validate_names
 from ..simulator import RecoveryAccounting, RecoveryResult
 from ..topology import Topology
 from .cases import CaseSet, TestCase
 from .metrics import CaseRecord
 
-#: Approaches known to the runner, in the paper's comparison order.
+#: Default comparison set, in the paper's Table III order.
 ALL_APPROACHES = ("RTR", "FCP", "MRC")
 
 log = obs.get_logger(__name__)
 
 
 class EvaluationRunner:
-    """Executes test cases under one or more recovery approaches."""
+    """Executes test cases under one or more registered recovery schemes."""
 
     def __init__(
         self,
@@ -48,56 +53,39 @@ class EvaluationRunner:
         isolate_errors: bool = True,
         sp_cache: Optional[SPTCache] = None,
     ) -> None:
-        unknown = set(approaches) - set(ALL_APPROACHES)
-        if unknown:
-            raise ValueError(f"unknown approaches: {sorted(unknown)}")
+        validate_names(approaches)
         self.topo = topo
-        #: Sweep-wide SPT pool shared by every per-scenario protocol
+        #: Sweep-wide SPT pool shared by every per-scenario scheme
         #: instance; pre-failure trees in particular are scenario-invariant.
         self.sp_cache = sp_cache if sp_cache is not None else SPTCache()
         self.routing = routing if routing is not None else RoutingTable(topo)
         self.approaches = tuple(approaches)
         self.rtr_config = rtr_config
-        #: Fault injection applied to RTR runs (baselines stay ideal — the
-        #: comparison of interest is degraded RTR vs their clean designs).
+        #: Fault injection applied to *every* scheme via the
+        #: :class:`~repro.schemes.FaultedScheme` wrapper (RTR keeps its
+        #: native hardened ladder; baselines get the degraded view/engine).
         self.fault_plan = fault_plan
-        #: Catch per-case protocol crashes and record them as ``error``
+        #: Catch per-case scheme crashes and record them as ``error``
         #: results instead of aborting the sweep.
         self.isolate_errors = isolate_errors
-        self._mrc_configs: Optional[List[BackupConfiguration]] = None
-        self._mrc_seed = mrc_seed
+        self.schemes = build_schemes(
+            self.approaches,
+            fault_plan=fault_plan,
+            rtr_config=rtr_config,
+            mrc_seed=mrc_seed,
+        )
+        for scheme in self.schemes.values():
+            scheme.prepare(topo, self.routing, self.sp_cache)
+        self._case_counters = {
+            name: f"eval.cases.scheme.{name}" for name in self.approaches
+        }
 
-    def _mrc_configurations(self) -> List[BackupConfiguration]:
-        if self._mrc_configs is None:
-            self._mrc_configs = generate_configurations(
-                self.topo, seed=self._mrc_seed
-            )
-        return self._mrc_configs
-
-    def _protocols(self, scenario: FailureScenario) -> Dict[str, object]:
-        protocols: Dict[str, object] = {}
-        for name in self.approaches:
-            if name == "RTR":
-                protocols[name] = RTR(
-                    self.topo,
-                    scenario,
-                    routing=self.routing,
-                    config=self.rtr_config,
-                    fault_plan=self.fault_plan,
-                    sp_cache=self.sp_cache,
-                )
-            elif name == "FCP":
-                protocols[name] = FCP(
-                    self.topo, scenario, routing=self.routing, cache=self.sp_cache
-                )
-            elif name == "MRC":
-                protocols[name] = MRC(
-                    self.topo,
-                    scenario,
-                    configurations=self._mrc_configurations(),
-                    routing=self.routing,
-                )
-        return protocols
+    def _instances(self, scenario_index: int, case_set: CaseSet) -> Dict[str, SchemeInstance]:
+        scenario = case_set.scenarios[scenario_index]
+        return {
+            name: scheme.instantiate(scenario)
+            for name, scheme in self.schemes.items()
+        }
 
     def run(self, case_set: CaseSet) -> Dict[str, List[CaseRecord]]:
         """Run every case under every approach.
@@ -106,27 +94,23 @@ class EvaluationRunner:
         """
         records: Dict[str, List[CaseRecord]] = {a: [] for a in self.approaches}
         for scenario_index, cases in sorted(case_set.by_scenario().items()):
-            scenario = case_set.scenarios[scenario_index]
-            protocols = self._protocols(scenario)
+            instances = self._instances(scenario_index, case_set)
             for case in cases:
                 obs.inc("eval.cases")
                 for name in self.approaches:
-                    result = self._recover_one(protocols[name], name, case)
+                    obs.inc(self._case_counters[name])
+                    result = self._recover_one(instances[name], name, case)
                     records[name].append(CaseRecord(case=case, result=result))
         return records
 
     def _recover_one(
-        self, protocol: object, name: str, case: TestCase
+        self, instance: SchemeInstance, name: str, case: TestCase
     ) -> RecoveryResult:
         """Run one case, isolating per-case crashes when configured."""
         if not self.isolate_errors:
-            return protocol.recover(  # type: ignore[attr-defined]
-                case.initiator, case.destination, case.trigger
-            )
+            return instance.recover(case)
         try:
-            return protocol.recover(  # type: ignore[attr-defined]
-                case.initiator, case.destination, case.trigger
-            )
+            return instance.recover(case)
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             obs.inc("eval.errors")
             log.warning(

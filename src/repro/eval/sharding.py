@@ -1,0 +1,98 @@
+"""Shared shard-map/merge/retry machinery for process-pool sweeps.
+
+Both parallel drivers — case-sharded tables (:mod:`repro.eval.parallel`)
+and scenario-sharded traffic sweeps — need the same scaffolding around
+their per-shard work functions: fan tasks out to a
+:class:`~concurrent.futures.ProcessPoolExecutor`, reset each worker's
+process-local obs state and ship its snapshot back, retry failed shards
+serially in the parent (against the parent's own obs registry), and fold
+worker snapshots into one registry in sorted key order so float sums are
+reproducible.  That scaffolding lives here, once; the drivers supply
+only their work function and task keys, and any registered recovery
+scheme runs through it unchanged.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Hashable, List, Sequence, Tuple
+
+from .. import obs
+
+log = obs.get_logger(__name__)
+
+#: One pool task: ``(key, run_fn, args)``.  ``key`` orders the snapshot
+#: merge and indexes the result; ``run_fn`` must be a module-level
+#: (picklable) callable invoked as ``run_fn(*args)`` — in the worker on
+#: the happy path, in the parent on retry.
+ShardTask = Tuple[Hashable, Callable[..., Any], tuple]
+
+#: Counter bumped once per parent-side serial retry (both drivers share
+#: it so one dashboard query covers every sweep flavor).
+RETRY_COUNTER = "eval.parallel.retries"
+
+
+def _pool_task(payload: Tuple[Callable[..., Any], tuple]) -> tuple:
+    """Run one shard in a pool process, bracketed by obs reset/snapshot.
+
+    When instrumentation is on, the worker's process-local obs state is
+    reset at task start and its snapshot shipped back with the records,
+    so the parent can fold per-shard counters and span aggregates into
+    one registry (see :func:`run_sharded`).
+    """
+    run_fn, args = payload
+    if obs.enabled():
+        obs.reset()
+    records = run_fn(*args)
+    snap = obs.snapshot() if obs.enabled() else None
+    return records, snap
+
+
+def run_sharded(
+    tasks: Sequence[ShardTask],
+    span_name: str,
+    workers: int,
+) -> Dict[Hashable, Any]:
+    """Execute ``tasks`` on a process pool and return ``key -> result``.
+
+    A shard whose worker dies (pool crash, pickling failure, injected
+    chaos tripping the process) is retried serially in the parent rather
+    than aborting the sweep — the retry runs against the parent's own
+    obs registry and bumps :data:`RETRY_COUNTER`, while successful
+    workers ship snapshots that are merged in sorted key order.  Tasks
+    are submitted individually (no chunking) so per-shard failures stay
+    isolated.  The whole fan-out runs under one ``span_name`` span with
+    a ``shards`` attribute.
+    """
+    results: Dict[Hashable, Any] = {}
+    snapshots: Dict[Hashable, dict] = {}
+    retry: List[ShardTask] = []
+    with obs.span(span_name, shards=len(tasks)):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (task, pool.submit(_pool_task, (task[1], task[2])))
+                for task in tasks
+            ]
+            for task, future in futures:
+                key = task[0]
+                try:
+                    records, snap = future.result()
+                except Exception as exc:  # noqa: BLE001 — shard isolation
+                    log.warning(
+                        "worker for shard %s failed (%s: %s); "
+                        "retrying serially in parent",
+                        key,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    retry.append(task)
+                    continue
+                results[key] = records
+                if snap is not None:
+                    snapshots[key] = snap
+        for key, run_fn, args in retry:
+            obs.inc(RETRY_COUNTER)
+            results[key] = run_fn(*args)
+        for key in sorted(snapshots):
+            obs.merge_snapshot(snapshots[key])
+    return results

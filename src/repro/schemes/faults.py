@@ -1,0 +1,58 @@
+"""Fault injection as a scheme-wrapping decorator.
+
+:class:`FaultedScheme` applies a :class:`~repro.chaos.FaultPlan` to *any*
+registered scheme.  Schemes with native degraded-mode support (RTR's
+hardened retry ladder) keep their own machinery via
+:meth:`~repro.schemes.base.RecoveryScheme.instantiate_degraded`; the rest
+get the generic :meth:`~repro.schemes.base.SchemeInstance.degrade`
+view/engine swap, so detection misses, delayed notifications, secondary
+flaps, and the shared hop clock perturb FCP or MRC exactly as they would
+RTR.  A scheme with no forwarding surface at all (the oracle) cannot be
+degraded — that is logged and counted, never silently ignored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .. import obs
+from ..chaos import ChaosRuntime, FaultPlan
+from ..routing import RoutingTable, SPTCache
+from ..topology import Topology
+from .base import RecoveryScheme, SchemeInstance
+
+if TYPE_CHECKING:
+    from ..failures import FailureScenario
+
+log = obs.get_logger(__name__)
+
+
+class FaultedScheme(RecoveryScheme):
+    """Decorator running ``inner`` under an injected :class:`FaultPlan`."""
+
+    def __init__(self, inner: RecoveryScheme, plan: FaultPlan) -> None:
+        super().__init__()
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name  # mirrors the wrapped scheme in records/obs
+
+    def prepare(
+        self, topo: Topology, routing: RoutingTable, sp_cache: SPTCache
+    ) -> None:
+        super().prepare(topo, routing, sp_cache)
+        self.inner.prepare(topo, routing, sp_cache)
+
+    def _instantiate(self, scenario: "FailureScenario") -> SchemeInstance:
+        native = self.inner.instantiate_degraded(scenario, self.plan)
+        if native is not None:
+            return native
+        instance = self.inner.instantiate(scenario)
+        runtime = ChaosRuntime(self.plan, scenario)
+        if not instance.degrade(self.plan, runtime):
+            obs.inc(f"chaos.degrade.unsupported.{self.name}")
+            log.warning(
+                "scheme %s has no degradable forwarding surface; "
+                "FaultPlan has no effect on it",
+                self.name,
+            )
+        return instance

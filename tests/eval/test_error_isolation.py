@@ -103,9 +103,12 @@ class TestChaosSweep:
         row = summary.as_dict()
         assert row["approach"] == "RTR"
 
-    def test_baselines_stay_ideal_under_a_plan(self, topo, case_set):
-        # Fault plans target RTR; FCP must behave exactly as in the clean
-        # world so the comparison isolates RTR's degradation.
+    def test_loss_only_plan_leaves_fcp_unchanged(self, topo, case_set):
+        # Fault plans now wrap every scheme (see tests/schemes/
+        # test_fault_wrapping.py for baselines being perturbed), but
+        # packet loss specifically models recovery-packet drops in the
+        # walk driver — FCP forwards through its own loop, so a
+        # loss-only plan must not change its outcomes.
         plan = FaultPlan(seed=42, packet_loss_rate=0.2)
         chaotic = EvaluationRunner(
             topo, routing=case_set.routing, approaches=("FCP",), fault_plan=plan

@@ -72,3 +72,9 @@ class TestExamples:
         assert "Table II" in out
         assert "Table IV" in out
         assert "Fig. 13" in out
+
+    def test_custom_scheme(self, capsys):
+        run_example("custom_scheme.py", ["AS209", "20"])
+        out = capsys.readouterr().out
+        assert "Detour" in out
+        assert "RTR" in out
