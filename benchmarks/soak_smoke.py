@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Soak crash-recovery smoke: run, `kill -9` mid-run, resume, compare.
+
+Three phases over one small, fully-seeded soak configuration:
+
+1. **reference** — an uninterrupted `repro soak` run;
+2. **kill/resume** — the same run in a fresh directory, SIGKILLed (whole
+   process group) the instant its first checkpoint lands, then resumed
+   with `repro soak --resume`;
+3. **requeued shard** — the same run again with
+   ``REPRO_SOAK_CHAOS_KILL`` making a pool worker SIGKILL itself
+   mid-shard, exercising the hardened pool's rebuild + requeue path.
+
+The resumed and requeue summaries must be **byte-identical** to the
+reference `summary.json`; any drift exits non-zero.  Run directories
+land under ``benchmarks/results/soak-smoke/`` (``--out`` to override)
+so CI can upload them as artifacts.
+
+The victim runs in its own session with output on DEVNULL: a plain
+``kill`` would orphan the pool's fork workers, which inherit any output
+pipe and hold it open forever.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+FLAGS = [
+    "--topology", "grid:5x5:400",
+    "--seed", "7",
+    "--duration", "600",
+    "--failures", "2",
+    "--flapping-links", "1",
+    "--flap-period", "30",
+    "--flap-cycles", "2",
+    "--flows", "2000",
+    "--checkpoint-every", "1",
+    "--workers", "2",
+]
+
+
+def _env(**extra) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    env.update(extra)
+    return env
+
+
+def _soak(args: list, env: dict | None = None) -> int:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "soak"] + args,
+        env=env or _env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    ).returncode
+
+
+def _run_reference(run_dir: Path) -> bytes:
+    rc = _soak(FLAGS + ["--run-dir", str(run_dir)])
+    if rc != 0:
+        raise SystemExit(f"reference soak run failed with exit {rc}")
+    return (run_dir / "summary.json").read_bytes()
+
+
+def _run_killed_then_resumed(run_dir: Path) -> bytes:
+    p = subprocess.Popen(
+        [sys.executable, "-m", "repro", "soak"]
+        + FLAGS
+        + ["--run-dir", str(run_dir)],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if (run_dir / "checkpoint.json").exists():
+                break
+            if p.poll() is not None:
+                raise SystemExit("victim exited before its first checkpoint")
+            time.sleep(0.005)
+        else:
+            raise SystemExit("victim produced no checkpoint within 120s")
+        mid_run = not (run_dir / "summary.json").exists()
+        os.killpg(p.pid, signal.SIGKILL)
+    finally:
+        p.wait()
+    if not mid_run:
+        raise SystemExit("victim finished before the kill landed")
+    print(f"  killed mid-run (pgid {p.pid}); resuming ...")
+    rc = _soak(["--resume", str(run_dir)])
+    if rc != 0:
+        raise SystemExit(f"resume failed with exit {rc}")
+    return (run_dir / "summary.json").read_bytes()
+
+
+def _run_with_worker_kill(run_dir: Path, marker: Path) -> bytes:
+    env = _env(REPRO_SOAK_CHAOS_KILL=f"{marker}:2")
+    rc = _soak(FLAGS + ["--run-dir", str(run_dir)], env=env)
+    if rc != 0:
+        raise SystemExit(f"requeue soak run failed with exit {rc}")
+    if not marker.exists():
+        raise SystemExit("the worker chaos-kill hook never fired")
+    return (run_dir / "summary.json").read_bytes()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "results" / "soak-smoke"),
+        help="directory for the three run dirs (wiped first)",
+    )
+    args = parser.parse_args()
+    out = Path(args.out)
+    shutil.rmtree(out, ignore_errors=True)
+    out.mkdir(parents=True)
+
+    print("[1/3] uninterrupted reference run ...")
+    reference = _run_reference(out / "reference")
+
+    print("[2/3] kill -9 mid-run, then resume ...")
+    resumed = _run_killed_then_resumed(out / "killed")
+    if resumed != reference:
+        print("FAIL: resumed summary differs from the reference", file=sys.stderr)
+        return 1
+    print("  resumed summary is byte-identical")
+
+    print("[3/3] pool worker SIGKILLed mid-shard (requeue path) ...")
+    requeued = _run_with_worker_kill(out / "requeued", out / "killed.marker")
+    if requeued != reference:
+        print("FAIL: requeue summary differs from the reference", file=sys.stderr)
+        return 1
+    print("  requeued-shard summary is byte-identical")
+
+    print(f"OK — soak crash-recovery smoke passed; runs in {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ mid-walk secondary link failures, and truncated recovery headers — all
 seeded, so every chaotic run is exactly reproducible.
 """
 
-from .plan import FaultPlan, SecondaryFailure
+from .plan import FaultPlan, SecondaryFailure, SecondaryRepair
 from .runtime import ChaosRuntime
 from .degraded import DegradedLocalView
 from .engine import ChaosForwardingEngine
@@ -18,6 +18,7 @@ from .engine import ChaosForwardingEngine
 __all__ = [
     "FaultPlan",
     "SecondaryFailure",
+    "SecondaryRepair",
     "ChaosRuntime",
     "DegradedLocalView",
     "ChaosForwardingEngine",

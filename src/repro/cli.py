@@ -15,9 +15,19 @@ Subcommands:
   population over a seeded demand matrix and weight recovery quality by
   the demand each disrupted pair carries (``--model gravity --flows
   1000000 --parallel``);
+* ``soak`` — a crash-recoverable long-horizon run: replay a seeded
+  failure timeline (cascades, repairs, flaps) through the scheme
+  registry for hours of simulated time, checkpointing after every
+  batch; ``--resume <run-dir>`` continues after a kill with a final
+  summary byte-identical to an uninterrupted run (exit 3 = interrupted
+  with checkpoint);
 * ``obs report`` — render the manifest/metrics/span breakdown of an
   instrumented run (``REPRO_OBS=1 repro eval ...`` writes one);
 * ``render`` — draw a topology/failure/recovery episode as SVG.
+
+Error hygiene: usage-level failures (unknown topology or scheme, bad
+scenario seed, malformed soak config) print one ``error:`` line to
+stderr and exit 2 — never a traceback.
 
 Logging: the ``repro`` logger hierarchy is silent by default; ``--log``
 (or ``REPRO_LOG=INFO``) attaches a stderr handler at the given level.
@@ -34,17 +44,22 @@ from typing import List, Optional
 
 from . import __version__, obs
 from .core import RTR
+from .errors import ReproError
 from .failures import FailureScenario, LocalView, random_circle
 from .geometry import Circle, Point
-from .topology import Topology, isp_catalog, load_topology, save_topology
+from .topology import Topology, isp_catalog, save_topology, topology_from_spec
 from .topology.validation import stats as topo_stats
 
 
 def _load_or_build(spec: str, seed: int) -> Topology:
-    """Interpret ``spec`` as a catalog AS name or a JSON topology path."""
-    if spec.upper().startswith("AS") and not Path(spec).exists():
-        return isp_catalog.build(spec.upper(), seed=seed)
-    return load_topology(spec)
+    """Resolve a topology spec (grid:RxC, AS name, or JSON path)."""
+    return topology_from_spec(spec, seed=seed)
+
+
+def _usage_error(exc: BaseException) -> int:
+    """The one-line-error-to-stderr, exit-2 convention of this CLI."""
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
 def _scenario_from_args(topo: Topology, args: argparse.Namespace) -> FailureScenario:
@@ -87,11 +102,25 @@ def cmd_topo(args: argparse.Namespace) -> int:
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
+    try:
+        return _run_recover(args)
+    except (ReproError, FileNotFoundError) as exc:
+        return _usage_error(exc)
+
+
+def _run_recover(args: argparse.Namespace) -> int:
     topo = _load_or_build(args.topology, args.seed)
     scenario = _scenario_from_args(topo, args)
     if not scenario.failed_links:
-        print("the failure area destroyed nothing; adjust --cx/--cy/--radius")
-        return 1
+        if args.cx is not None and args.cy is not None and args.radius is not None:
+            # An explicitly harmless circle is a ran-but-found-nothing
+            # outcome (exit 1), not a usage error.
+            print("the failure area destroyed nothing; adjust --cx/--cy/--radius")
+            return 1
+        return _usage_error(
+            f"seed {args.seed} found no damaging failure region on "
+            f"{args.topology} after 1000 draws; try another --seed"
+        )
     print(f"failure: {len(scenario.failed_nodes)} routers, {len(scenario.failed_links)} links down")
 
     rtr = RTR(topo, scenario)
@@ -172,7 +201,10 @@ def cmd_eval(args: argparse.Namespace) -> int:
         config=config,
         topologies=topologies,
     ) as manifest:
-        code = _run_eval_experiment(args, name, topologies, n, approaches)
+        try:
+            code = _run_eval_experiment(args, name, topologies, n, approaches)
+        except (ReproError, FileNotFoundError) as exc:
+            return _usage_error(exc)
     if manifest is not None and manifest.artifacts_dir:
         print(f"obs artifacts: {manifest.artifacts_dir}", file=sys.stderr)
     return code
@@ -300,6 +332,77 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         print(format_nested_table(table))
     if manifest is not None and manifest.artifacts_dir:
         print(f"obs artifacts: {manifest.artifacts_dir}", file=sys.stderr)
+    return 0
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    from .soak import SoakConfig, SoakService
+    from .timeline import TimelinePlan
+
+    try:
+        if args.resume:
+            service = SoakService.resume(Path(args.resume))
+        else:
+            plan = TimelinePlan(
+                seed=args.seed,
+                duration_s=args.duration,
+                n_failures=args.failures,
+                cascade_probability=args.cascade_probability,
+                cascade_mode=args.cascade_mode,
+                n_flapping_links=args.flapping_links,
+                flap_period_s=args.flap_period,
+                flap_cycles=args.flap_cycles,
+            )
+            config = SoakConfig(
+                topology=args.topology,
+                approaches=_parse_approaches(args.approaches) or ("RTR", "OSPF"),
+                model=args.model,
+                total_demand=args.demand,
+                traffic_seed=args.seed,
+                n_flows=args.flows,
+                checkpoint_every=args.checkpoint_every,
+                workers=args.workers,
+                timeline=plan,
+            )
+            run_dir = (
+                Path(args.run_dir)
+                if args.run_dir
+                else obs.default_run_dir()
+                / f"soak-{obs.config_hash(config.to_dict())}"
+            )
+            service = SoakService.start(config, run_dir)
+    except (ReproError, FileNotFoundError, ValueError) as exc:
+        return _usage_error(exc)
+
+    print(f"soak run: {service.run_dir}", file=sys.stderr)
+    print(
+        f"timeline: {len(service.events)} events across "
+        f"{len(service.windows)} convergence windows "
+        f"(starting at window {service.cursor})",
+        file=sys.stderr,
+    )
+    status, summary = service.run()
+    if status == "interrupted":
+        print(
+            "interrupted — checkpoint written; resume with "
+            f"`repro soak --resume {service.run_dir}`",
+            file=sys.stderr,
+        )
+        return 3
+    assert summary is not None
+    print(
+        f"{'approach':10s} {'delivered':>10s} {'recovery':>9s} "
+        f"{'stretch':>8s} {'p1 loss':>9s}"
+    )
+    for name in service.config.approaches:
+        row = summary["approaches"][name]
+        print(
+            f"{name:10s} {row['demand_delivered_fraction']:10.4f} "
+            f"{row['demand_recovery_rate']:9.4f} "
+            f"{row['demand_weighted_stretch']:8.3f} "
+            f"{row['phase1_loss']:9.3f}"
+        )
+    print(f"summary: {service.run_dir / 'summary.json'}", file=sys.stderr)
     return 0
 
 
@@ -464,6 +567,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     traffic.set_defaults(func=cmd_traffic)
 
+    soak = sub.add_parser(
+        "soak", help="crash-recoverable long-horizon timeline run"
+    )
+    soak.add_argument(
+        "--resume",
+        metavar="RUN_DIR",
+        help="continue a journaled run (all other flags are ignored)",
+    )
+    soak.add_argument(
+        "--topology",
+        default="grid:6x6:400",
+        help="grid:RxC[:SPACING], AS name, or topology JSON path",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="timeline + traffic seed")
+    soak.add_argument(
+        "--duration", type=float, default=3600.0, help="simulated seconds"
+    )
+    soak.add_argument(
+        "--failures", type=int, default=3, help="primary failure regions"
+    )
+    soak.add_argument(
+        "--flapping-links", type=int, default=1, help="oscillating links"
+    )
+    soak.add_argument(
+        "--flap-period", type=float, default=60.0, help="flap period (s)"
+    )
+    soak.add_argument(
+        "--flap-cycles", type=int, default=3, help="down/up cycles per flapping link"
+    )
+    soak.add_argument(
+        "--cascade-probability",
+        type=float,
+        default=0.35,
+        help="chance each failure triggers a secondary region",
+    )
+    soak.add_argument(
+        "--cascade-mode",
+        choices=["proximity", "load"],
+        default="proximity",
+        help="where secondary regions strike",
+    )
+    soak.add_argument(
+        "--approaches", default="RTR,OSPF", help="comma-separated scheme names"
+    )
+    soak.add_argument(
+        "--model", default="gravity", help="traffic model: gravity, uniform, hotspot"
+    )
+    soak.add_argument(
+        "--flows", type=int, default=100_000, help="synthetic flow population"
+    )
+    soak.add_argument(
+        "--demand", type=float, default=1000.0, help="aggregate matrix demand"
+    )
+    soak.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        help="windows per checkpointed batch",
+    )
+    soak.add_argument("--workers", type=int, default=2, help="shard pool size")
+    soak.add_argument(
+        "--run-dir",
+        help="run directory (default: obs runs dir / soak-<config-hash>)",
+    )
+    soak.set_defaults(func=cmd_soak)
+
     obs_p = sub.add_parser("obs", help="observability artifacts")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
@@ -502,6 +671,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.configure_logging(level)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # Safety net: any repro-domain failure a handler did not turn
+        # into a message itself still exits 2 with one line, never a
+        # traceback.
+        return _usage_error(exc)
     except BrokenPipeError:
         # Output was piped to a consumer that closed early (e.g. head);
         # suppress the traceback and let the pipe's verdict stand.

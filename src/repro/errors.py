@@ -73,3 +73,11 @@ class ChaosError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment driver was invoked with unusable parameters."""
+
+
+class TimelineError(ReproError):
+    """A failure timeline is malformed or cannot be built."""
+
+
+class SoakError(ReproError):
+    """A soak run configuration or checkpoint journal is unusable."""

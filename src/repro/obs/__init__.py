@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence
 
+from .atomic import atomic_write_json, atomic_write_text
 from .logconfig import configure_logging, get_logger
 from .manifest import RunManifest, config_hash, git_sha
 from .registry import DEFAULT_EDGES, Histogram, MetricsRegistry
@@ -54,6 +55,8 @@ __all__ = [
     "Span",
     "SpanAggregate",
     "Tracer",
+    "atomic_write_json",
+    "atomic_write_text",
     "config_hash",
     "configure_logging",
     "current_span_id",

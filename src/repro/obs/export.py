@@ -21,6 +21,8 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .atomic import atomic_write_json, atomic_write_text
+
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
@@ -61,23 +63,26 @@ def write_run_artifacts(
     span_aggregates: Dict[str, Dict[str, float]],
     events: List[dict],
 ) -> Path:
-    """Write manifest/events/metrics artifacts; returns the directory."""
+    """Write manifest/events/metrics artifacts; returns the directory.
+
+    Every file goes through :mod:`repro.obs.atomic` — a crash mid-write
+    leaves the previous complete version in place, never truncated JSON.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    (directory / "manifest.json").write_text(
-        json.dumps(manifest_dict, indent=2, sort_keys=True) + "\n"
+    atomic_write_json(directory / "manifest.json", manifest_dict)
+    atomic_write_text(
+        directory / "events.jsonl",
+        "".join(json.dumps(event, sort_keys=True) + "\n" for event in events),
     )
-    with (directory / "events.jsonl").open("w") as fh:
-        for event in events:
-            fh.write(json.dumps(event, sort_keys=True) + "\n")
     metrics_doc = {
         "metrics": metrics_snapshot,
         "span_aggregates": span_aggregates,
     }
-    (directory / "metrics.json").write_text(
-        json.dumps(metrics_doc, indent=2, sort_keys=True) + "\n"
+    atomic_write_json(directory / "metrics.json", metrics_doc)
+    atomic_write_text(
+        directory / "metrics.prom", render_prometheus(metrics_snapshot)
     )
-    (directory / "metrics.prom").write_text(render_prometheus(metrics_snapshot))
     return directory
 
 

@@ -1,0 +1,34 @@
+"""Crash-recoverable long-horizon soak runs (ROADMAP item 3, PR 6).
+
+``repro soak`` streams a :mod:`repro.timeline` outage — hours of
+simulated time, window by window — through the scheme registry under a
+:mod:`repro.traffic` demand matrix, on the hardened sharding pool.
+State checkpoints atomically after every batch; ``repro soak --resume``
+after a ``kill -9`` produces a ``summary.json`` byte-identical to an
+uninterrupted run, and SIGINT/SIGTERM shut down cleanly with a final
+checkpoint.
+"""
+
+from .config import SoakConfig
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    SoakCheckpoint,
+    load_checkpoint,
+    rng_state_from_json,
+    rng_state_to_json,
+    write_checkpoint,
+)
+from .service import CHAOS_KILL_ENV, SoakService, run_window_shard
+
+__all__ = [
+    "CHAOS_KILL_ENV",
+    "CHECKPOINT_VERSION",
+    "SoakCheckpoint",
+    "SoakConfig",
+    "SoakService",
+    "load_checkpoint",
+    "rng_state_from_json",
+    "rng_state_to_json",
+    "run_window_shard",
+    "write_checkpoint",
+]

@@ -1,0 +1,127 @@
+"""The soak journal: atomically-written, JSON-exact checkpoints.
+
+A checkpoint captures everything the service needs to continue after a
+``kill -9`` as if nothing happened: the timeline cursor, every
+completed window's per-approach record dicts (in window order), the
+per-window salts plus the parent RNG state that produced them, and the
+parent obs snapshot.  Two invariants make resumed summaries
+byte-identical to uninterrupted ones:
+
+* **JSON float exactness** — ``json.dumps``/``loads`` round-trip IEEE
+  doubles exactly, so records reloaded from the journal equal the
+  originals bit for bit;
+* **atomic replacement** — checkpoints go through
+  :func:`repro.obs.atomic.atomic_write_json`; a crash mid-write leaves
+  the previous complete checkpoint, never a truncated one.
+
+The summary is computed *only* from checkpointed state (one code path
+for interrupted and uninterrupted runs), so parity is structural, not
+accidental.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import SoakError
+from ..obs.atomic import atomic_write_json
+
+#: Journal schema version; bump on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+CHECKPOINT_NAME = "checkpoint.json"
+CONFIG_NAME = "config.json"
+SUMMARY_NAME = "summary.json"
+WINDOWS_DIR = "windows"
+
+
+def rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` as a JSON-safe nested list."""
+    return [state[0], list(state[1]), state[2]]
+
+
+def rng_state_from_json(data: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json` (accepted by ``setstate``)."""
+    return (data[0], tuple(data[1]), data[2])
+
+
+@dataclass
+class SoakCheckpoint:
+    """Resumable state of one soak run."""
+
+    config_hash: str
+    events_digest: str
+    n_windows: int
+    #: Index of the next window to run.
+    cursor: int = 0
+    #: Per-window salts drawn so far, in window order.
+    salts: List[int] = field(default_factory=list)
+    #: Parent RNG state *after* drawing ``salts``.
+    rng_state: Optional[list] = None
+    #: approach -> per-window record dicts, in window order.
+    records: Dict[str, List[dict]] = field(default_factory=dict)
+    #: Parent obs snapshot at checkpoint time (None when obs is off).
+    obs_snapshot: Optional[dict] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "config_hash": self.config_hash,
+            "events_digest": self.events_digest,
+            "n_windows": self.n_windows,
+            "cursor": self.cursor,
+            "salts": list(self.salts),
+            "rng_state": self.rng_state,
+            "records": {k: list(v) for k, v in self.records.items()},
+            "obs_snapshot": self.obs_snapshot,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "SoakCheckpoint":
+        version = d.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise SoakError(
+                f"checkpoint version {version!r} is not supported "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        return cls(
+            config_hash=str(d["config_hash"]),
+            events_digest=str(d["events_digest"]),
+            n_windows=int(d["n_windows"]),  # type: ignore[arg-type]
+            cursor=int(d["cursor"]),  # type: ignore[arg-type]
+            salts=list(d.get("salts", [])),  # type: ignore[arg-type]
+            rng_state=d.get("rng_state"),  # type: ignore[arg-type]
+            records={
+                k: list(v) for k, v in dict(d.get("records", {})).items()  # type: ignore[union-attr]
+            },
+            obs_snapshot=d.get("obs_snapshot"),  # type: ignore[arg-type]
+        )
+
+    def restore_rng(self) -> random.Random:
+        """The parent salt stream, positioned after ``salts`` draws."""
+        rng = random.Random(0)
+        if self.rng_state is not None:
+            rng.setstate(rng_state_from_json(self.rng_state))
+        return rng
+
+
+def write_checkpoint(run_dir: Path, checkpoint: SoakCheckpoint) -> Path:
+    """Atomically replace the run's checkpoint journal."""
+    return atomic_write_json(
+        Path(run_dir) / CHECKPOINT_NAME, checkpoint.as_dict()
+    )
+
+
+def load_checkpoint(run_dir: Path) -> Optional[SoakCheckpoint]:
+    """The run's checkpoint, or ``None`` when it never checkpointed."""
+    path = Path(run_dir) / CHECKPOINT_NAME
+    if not path.exists():
+        return None
+    try:
+        return SoakCheckpoint.from_dict(json.loads(path.read_text()))
+    except (ValueError, KeyError) as exc:
+        raise SoakError(f"unreadable checkpoint {path}: {exc}") from exc

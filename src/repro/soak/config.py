@@ -1,0 +1,99 @@
+"""Soak-run configuration: one frozen dataclass, JSON round-trippable.
+
+A :class:`SoakConfig` binds a :class:`~repro.timeline.TimelinePlan` to
+the workload that streams through it — topology spec, traffic matrix,
+flow population, approaches — plus the service knobs (batch size,
+workers).  ``to_dict``/``from_dict`` round-trip through JSON exactly,
+and :func:`repro.obs.config_hash` of ``to_dict()`` names the run
+directory, so the same config always lands in the same place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Tuple
+
+from ..errors import SoakError
+from ..timeline import TimelinePlan
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything one soak run needs, fully determined by its fields."""
+
+    #: Topology spec: ``grid:RxC[:SPACING]``, an AS name, or a JSON path.
+    topology: str = "grid:6x6:400"
+    #: Seed for catalog topology construction (grid specs ignore it).
+    topology_seed: int = 0
+    #: Recovery schemes compared per window.
+    approaches: Tuple[str, ...] = ("RTR", "OSPF")
+    #: Traffic matrix model and aggregate demand.
+    model: str = "gravity"
+    total_demand: float = 1000.0
+    #: Seed of the demand matrix.
+    traffic_seed: int = 0
+    #: Synthetic flow population apportioned over the matrix.
+    n_flows: int = 100_000
+    #: Windows per checkpointed batch.
+    checkpoint_every: int = 4
+    #: Process-pool workers per batch.
+    workers: int = 2
+    #: The failure timeline this run replays.
+    timeline: TimelinePlan = field(default_factory=TimelinePlan)
+
+    def __post_init__(self) -> None:
+        if not self.approaches:
+            raise SoakError("soak needs at least one approach")
+        if self.checkpoint_every < 1:
+            raise SoakError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.workers < 1:
+            raise SoakError(f"workers must be >= 1, got {self.workers}")
+        if self.n_flows < 0:
+            raise SoakError(f"n_flows must be >= 0, got {self.n_flows}")
+        object.__setattr__(self, "approaches", tuple(self.approaches))
+        if not isinstance(self.timeline, TimelinePlan):
+            # from_dict hands a plain dict through; normalize here.
+            object.__setattr__(
+                self, "timeline", _timeline_from_dict(dict(self.timeline))
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict that :meth:`from_dict` inverts exactly."""
+        d = asdict(self)
+        d["approaches"] = list(self.approaches)
+        d["timeline"] = {
+            k: list(v) if isinstance(v, tuple) else v
+            for k, v in asdict(self.timeline).items()
+        }
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "SoakConfig":
+        """Rebuild a config from :meth:`to_dict` output (or JSON thereof)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise SoakError(f"unknown soak config keys: {', '.join(unknown)}")
+        kwargs = dict(d)
+        if "approaches" in kwargs:
+            kwargs["approaches"] = tuple(kwargs["approaches"])  # type: ignore[arg-type]
+        if "timeline" in kwargs and not isinstance(kwargs["timeline"], TimelinePlan):
+            kwargs["timeline"] = _timeline_from_dict(dict(kwargs["timeline"]))  # type: ignore[arg-type]
+        try:
+            return cls(**kwargs)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise SoakError(f"bad soak config: {exc}") from exc
+
+
+def _timeline_from_dict(d: Dict[str, object]) -> TimelinePlan:
+    """Rebuild a :class:`TimelinePlan` from its ``asdict`` form."""
+    known = {f.name for f in fields(TimelinePlan)}
+    unknown = sorted(set(d) - known)
+    if unknown:
+        raise SoakError(f"unknown timeline keys: {', '.join(unknown)}")
+    for name in ("radius_range", "cascade_delay_range", "repair_delay_range"):
+        if name in d:
+            d[name] = tuple(d[name])  # type: ignore[arg-type]
+    return TimelinePlan(**d)  # type: ignore[arg-type]

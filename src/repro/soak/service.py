@@ -1,0 +1,344 @@
+"""The resident soak service: stream a timeline through the registry.
+
+One :class:`SoakService` replays a :class:`~repro.timeline.TimelinePlan`
+as convergence windows and pushes each window's scenario + lookahead
+fault plan through the scheme registry under a traffic matrix, batching
+windows onto the hardened :func:`~repro.eval.sharding.run_sharded` pool
+(crashed shards requeue with bounded retry) and checkpointing after
+every batch.  The crash-recovery contract:
+
+* ``kill -9`` at any instant, then :meth:`SoakService.resume` — the
+  final ``summary.json`` is byte-identical to an uninterrupted run;
+* ``SIGINT``/``SIGTERM`` — the current batch finishes, a final
+  checkpoint is written, and the service reports ``interrupted``.
+
+The parity guarantee is structural: the summary is computed *only* from
+checkpointed per-window records (one code path either way), per-window
+salts come from a checkpointed RNG drawn in strict window order, and
+every journal write is atomic (:mod:`repro.obs.atomic`).
+
+``REPRO_SOAK_CHAOS_KILL=<marker>:<window>`` makes the worker executing
+that window SIGKILL itself once (touching ``marker``) — the test hook
+that proves a requeued shard changes nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..errors import SoakError
+from ..eval.sharding import run_sharded
+from ..obs.atomic import atomic_write_json
+from ..routing import RoutingTable, SPTCache
+from ..timeline import build_events, build_windows, event_to_dict, events_digest
+from ..topology import topology_from_spec
+from ..traffic import TrafficEngine, aggregate_flows, generate_matrix
+from ..traffic.capacity import provision_capacities
+from ..traffic.metrics import TrafficScenarioRecord, summarize_traffic
+from .checkpoint import (
+    CONFIG_NAME,
+    SUMMARY_NAME,
+    WINDOWS_DIR,
+    SoakCheckpoint,
+    load_checkpoint,
+    rng_state_to_json,
+    write_checkpoint,
+)
+from .config import SoakConfig
+
+log = obs.get_logger(__name__)
+
+#: Env hook: ``<marker-path>:<window-index>`` — SIGKILL the process
+#: running that window once, creating the marker so retries proceed.
+CHAOS_KILL_ENV = "REPRO_SOAK_CHAOS_KILL"
+
+#: Per-process memo of expensive per-config state (workers are reused
+#: across shards of one soak run; rebuilding per window would dominate).
+_WORKER_STATE: Dict[str, tuple] = {}
+
+
+def _maybe_chaos_kill(window_index: int) -> None:
+    spec = os.environ.get(CHAOS_KILL_ENV)
+    if not spec:
+        return
+    marker, _, idx = spec.rpartition(":")
+    if not marker or int(idx) != window_index or os.path.exists(marker):
+        return
+    with open(marker, "w"):
+        pass
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _worker_state(config_json: str) -> tuple:
+    """Build (or reuse) the per-config heavy state in this process."""
+    state = _WORKER_STATE.get(config_json)
+    if state is None:
+        config = SoakConfig.from_dict(json.loads(config_json))
+        topo = topology_from_spec(config.topology, config.topology_seed)
+        events = build_events(config.timeline, topo)
+        windows = build_windows(topo, config.timeline, events=events)
+        matrix = generate_matrix(
+            topo,
+            config.model,
+            total_demand=config.total_demand,
+            seed=config.traffic_seed,
+        )
+        flow_set = aggregate_flows(matrix, config.n_flows)
+        cache = SPTCache()
+        routing = RoutingTable(topo, cache=cache)
+        provision_capacities(topo, matrix, routing)
+        state = (config, topo, windows, flow_set, routing, cache)
+        _WORKER_STATE.clear()  # one soak config per worker at a time
+        _WORKER_STATE[config_json] = state
+    return state
+
+
+def run_window_shard(config_json: str, window_index: int) -> Dict[str, dict]:
+    """One convergence window end to end (module-level: picklable).
+
+    Deterministic in its arguments — a shard rerun after a worker death
+    returns bit-identical record dicts, which the kill-resume parity
+    tests rely on.
+    """
+    _maybe_chaos_kill(window_index)
+    config, topo, windows, flow_set, routing, cache = _worker_state(config_json)
+    if not 0 <= window_index < len(windows):
+        raise SoakError(
+            f"window index {window_index} out of range 0..{len(windows) - 1}"
+        )
+    window = windows[window_index]
+    engine = TrafficEngine(
+        topo,
+        flow_set,
+        routing=routing,
+        approaches=config.approaches,
+        cache=cache,
+        fault_plan=window.fault_plan,
+        provision=False,
+    )
+    per_approach = engine.run_scenario(window.scenario, scenario_index=window.index)
+    return {name: asdict(per_approach[name]) for name in config.approaches}
+
+
+class SoakService:
+    """Owns one run directory: journal, window manifests, summary."""
+
+    def __init__(
+        self,
+        config: SoakConfig,
+        run_dir: Path,
+        checkpoint: Optional[SoakCheckpoint] = None,
+    ) -> None:
+        self.config = config
+        self.run_dir = Path(run_dir)
+        self.config_hash = obs.config_hash(config.to_dict())
+        self._config_json = json.dumps(
+            config.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        self.topo = topology_from_spec(config.topology, config.topology_seed)
+        self.events = build_events(config.timeline, self.topo)
+        self.events_digest = events_digest(self.events)
+        self.windows = build_windows(self.topo, config.timeline, events=self.events)
+        self._stop_signal: Optional[int] = None
+
+        if checkpoint is not None:
+            if checkpoint.config_hash != self.config_hash:
+                raise SoakError(
+                    f"checkpoint config hash {checkpoint.config_hash} does not "
+                    f"match this config ({self.config_hash}); refusing to resume"
+                )
+            if checkpoint.events_digest != self.events_digest:
+                raise SoakError(
+                    "checkpoint event digest does not match the rebuilt "
+                    "timeline; the code or plan changed under the journal"
+                )
+            if checkpoint.n_windows != len(self.windows):
+                raise SoakError(
+                    f"checkpoint expects {checkpoint.n_windows} windows, "
+                    f"rebuild produced {len(self.windows)}"
+                )
+            self.cursor = checkpoint.cursor
+            self.salts: List[int] = list(checkpoint.salts)
+            self.records: Dict[str, List[dict]] = {
+                name: list(checkpoint.records.get(name, []))
+                for name in config.approaches
+            }
+            self.rng = checkpoint.restore_rng()
+            if checkpoint.obs_snapshot and obs.enabled():
+                obs.merge_snapshot(checkpoint.obs_snapshot)
+        else:
+            self.cursor = 0
+            self.salts = []
+            self.records = {name: [] for name in config.approaches}
+            self.rng = SoakCheckpoint(
+                config_hash=self.config_hash,
+                events_digest=self.events_digest,
+                n_windows=len(self.windows),
+            ).restore_rng()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def start(cls, config: SoakConfig, run_dir: Path) -> "SoakService":
+        """Begin a fresh run; refuses a directory that already journaled."""
+        run_dir = Path(run_dir)
+        if (run_dir / "checkpoint.json").exists():
+            raise SoakError(
+                f"{run_dir} already holds a soak journal; resume it with "
+                "`repro soak --resume <run-dir>` or pick a fresh directory"
+            )
+        service = cls(config, run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(run_dir / CONFIG_NAME, config.to_dict())
+        return service
+
+    @classmethod
+    def resume(cls, run_dir: Path) -> "SoakService":
+        """Reopen a run directory from its journal (fresh if none yet)."""
+        run_dir = Path(run_dir)
+        config_path = run_dir / CONFIG_NAME
+        if not config_path.exists():
+            raise SoakError(f"{run_dir} is not a soak run (no {CONFIG_NAME})")
+        try:
+            config = SoakConfig.from_dict(json.loads(config_path.read_text()))
+        except ValueError as exc:
+            raise SoakError(f"unreadable {config_path}: {exc}") from exc
+        checkpoint = load_checkpoint(run_dir)
+        return cls(config, run_dir, checkpoint=checkpoint)
+
+    # -- the service loop ----------------------------------------------
+
+    def run(self) -> Tuple[str, Optional[dict]]:
+        """Drive the run to completion (or clean interruption).
+
+        Returns ``("completed", summary)`` or ``("interrupted", None)``.
+        """
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, self._on_signal)
+        try:
+            while self.cursor < len(self.windows):
+                if self._stop_signal is not None:
+                    self._write_checkpoint()
+                    log.warning(
+                        "soak interrupted by signal %d at window %d/%d; "
+                        "checkpoint written",
+                        self._stop_signal,
+                        self.cursor,
+                        len(self.windows),
+                    )
+                    return "interrupted", None
+                self._run_batch()
+            summary = self.summarize()
+            atomic_write_json(self.run_dir / SUMMARY_NAME, summary)
+            return "completed", summary
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def _run_batch(self) -> None:
+        batch = self.windows[self.cursor : self.cursor + self.config.checkpoint_every]
+        # Salts are drawn in strict window order from the checkpointed
+        # RNG; their digest lands in the summary, so a resume that fails
+        # to restore RNG state breaks byte parity loudly.
+        salts = [self.rng.randrange(2**32) for _ in batch]
+        tasks = [
+            (window.index, run_window_shard, (self._config_json, window.index))
+            for window in batch
+        ]
+        with obs.span("soak.batch", start=self.cursor, size=len(batch)):
+            by_window = run_sharded(
+                tasks, span_name="soak.shards", workers=self.config.workers
+            )
+        for window, salt in zip(batch, salts):
+            per_approach = by_window[window.index]
+            for name in self.config.approaches:
+                self.records[name].append(per_approach[name])
+            self._write_window_manifest(window, salt, per_approach)
+        self.salts.extend(salts)
+        self.cursor += len(batch)
+        obs.gauge("soak.cursor", self.cursor)
+        obs.gauge("soak.windows_total", len(self.windows))
+        obs.inc("soak.batches")
+        obs.inc("soak.windows_done", len(batch))
+        self._write_checkpoint()
+        log.info("soak window %d/%d checkpointed", self.cursor, len(self.windows))
+
+    # -- journaling ----------------------------------------------------
+
+    def _write_checkpoint(self) -> None:
+        checkpoint = SoakCheckpoint(
+            config_hash=self.config_hash,
+            events_digest=self.events_digest,
+            n_windows=len(self.windows),
+            cursor=self.cursor,
+            salts=list(self.salts),
+            rng_state=rng_state_to_json(self.rng.getstate()),
+            records={k: list(v) for k, v in self.records.items()},
+            obs_snapshot=obs.snapshot() if obs.enabled() else None,
+        )
+        write_checkpoint(self.run_dir, checkpoint)
+
+    def _write_window_manifest(
+        self, window, salt: int, per_approach: Dict[str, dict]
+    ) -> None:
+        manifest = {
+            "window": window.index,
+            "start": window.start,
+            "end": window.end,
+            "salt": salt,
+            "events": [event_to_dict(e) for e in window.events],
+            "active_failed_nodes": list(window.active_failed_nodes),
+            "active_failed_links": [list(l) for l in window.active_failed_links],
+            "network_converged_at": window.report.network_converged_at,
+            "secondary_failures": len(window.fault_plan.secondary_failures),
+            "secondary_repairs": len(window.fault_plan.secondary_repairs),
+            "records": per_approach,
+        }
+        atomic_write_json(
+            self.run_dir / WINDOWS_DIR / f"window-{window.index:04d}.json",
+            manifest,
+        )
+
+    # -- summary -------------------------------------------------------
+
+    def summarize(self) -> Dict[str, object]:
+        """The final summary, computed only from checkpointable state."""
+        approaches: Dict[str, object] = {}
+        for name in self.config.approaches:
+            records = [
+                TrafficScenarioRecord(**d) for d in self.records[name]
+            ]
+            approaches[name] = asdict(summarize_traffic(records))
+        salts_digest = hashlib.sha256(
+            json.dumps(self.salts, separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+        return {
+            "version": 1,
+            "config": self.config.to_dict(),
+            "config_hash": self.config_hash,
+            "events_digest": self.events_digest,
+            "n_events": len(self.events),
+            "n_windows": len(self.windows),
+            "windows_done": self.cursor,
+            "salts_digest": salts_digest,
+            "approaches": approaches,
+        }
+
+    # -- signals -------------------------------------------------------
+
+    def _on_signal(self, signum: int, frame) -> None:
+        self._stop_signal = signum
+        print(
+            f"soak: received signal {signum}; finishing the current batch, "
+            "then checkpointing",
+            file=sys.stderr,
+        )

@@ -1,0 +1,218 @@
+"""Deterministic event-sequence construction.
+
+:func:`build_events` expands a :class:`~repro.timeline.plan.TimelinePlan`
+against one topology into the ordered event stream the convergence
+windows replay.  Construction draws from four independent seeded streams
+(``primary``, ``cascade``, ``repair``, ``flap``) in a fixed order, and
+every collection it iterates is sorted — the resulting sequence is
+bit-identical across processes and ``PYTHONHASHSEED`` values
+(:func:`~repro.timeline.events.events_digest` pins this in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set, Tuple
+
+from ..errors import TimelineError
+from ..geometry import Circle, Point
+from ..topology import Topology
+from .events import FailureEvent, FlapEvent, RepairEvent, TimelineEvent
+from .plan import TimelinePlan
+
+#: Bounded redraws for primary regions that destroy nothing.
+_MAX_REDRAWS = 64
+
+
+def _resolve_circle(
+    topo: Topology, circle: Circle
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+    """Failed routers and directly-cut links of one region (§II-A).
+
+    Links incident to failed routers are omitted —
+    :class:`~repro.failures.FailureScenario` re-derives them from the
+    node set, and repairing such a link is meaningless while its router
+    is down.
+    """
+    failed_nodes = tuple(
+        sorted(n for n in topo.nodes() if circle.contains(topo.position(n)))
+    )
+    down = set(failed_nodes)
+    cut_links = tuple(
+        sorted(
+            (link.u, link.v)
+            for link in topo.links()
+            if link.u not in down
+            and link.v not in down
+            and circle.crosses(topo.segment(link))
+        )
+    )
+    return failed_nodes, cut_links
+
+
+def _boundary_survivors(topo: Topology, event: FailureEvent) -> List[int]:
+    """Live routers that lost at least one adjacency to ``event``.
+
+    These are the routers that absorb the rerouted load — the "load"
+    cascade mode centers its secondary region on one of them.
+    """
+    survivors: Set[int] = set()
+    for u, v in event.cut_links:
+        survivors.update((u, v))
+    for node in event.failed_nodes:
+        survivors.update(topo.neighbors(node))
+    survivors.difference_update(event.failed_nodes)
+    return sorted(survivors)
+
+
+def build_events(plan: TimelinePlan, topo: Topology) -> Tuple[TimelineEvent, ...]:
+    """Expand ``plan`` over ``topo`` into its ordered event stream."""
+    drafts: List[TimelineEvent] = []
+    next_id = 0
+
+    def assign_id() -> int:
+        nonlocal next_id
+        next_id += 1
+        return next_id - 1
+
+    # -- primary failures ----------------------------------------------
+    primary_rng = plan.rng("primary")
+    failures: List[FailureEvent] = []
+    for _ in range(plan.n_failures):
+        time = primary_rng.uniform(0.0, plan.duration_s * 0.5)
+        for _attempt in range(_MAX_REDRAWS):
+            lo, hi = plan.radius_range
+            circle = Circle(
+                Point(
+                    primary_rng.uniform(0.0, plan.area),
+                    primary_rng.uniform(0.0, plan.area),
+                ),
+                primary_rng.uniform(lo, hi),
+            )
+            failed_nodes, cut_links = _resolve_circle(topo, circle)
+            if failed_nodes or cut_links:
+                failures.append(
+                    FailureEvent(
+                        time=time,
+                        event_id=assign_id(),
+                        center=(circle.center.x, circle.center.y),
+                        radius=circle.radius,
+                        failed_nodes=failed_nodes,
+                        cut_links=cut_links,
+                        cause="primary",
+                    )
+                )
+                break
+    if not failures:
+        raise TimelineError(
+            "no primary failure region hit the topology after "
+            f"{_MAX_REDRAWS} redraws each — is the area/radius sane?"
+        )
+    drafts.extend(failures)
+
+    # -- cascading secondary regions -----------------------------------
+    cascade_rng = plan.rng("cascade")
+    queue: List[Tuple[FailureEvent, int]] = [(f, 0) for f in failures]
+    while queue:
+        parent, depth = queue.pop(0)
+        if depth >= plan.cascade_depth:
+            continue
+        if cascade_rng.random() >= plan.cascade_probability:
+            continue
+        lo, hi = plan.cascade_delay_range
+        time = parent.time + cascade_rng.uniform(lo, hi)
+        if time > plan.duration_s:
+            continue
+        radius = parent.radius * plan.cascade_radius_factor
+        if plan.cascade_mode == "load":
+            survivors = _boundary_survivors(topo, parent)
+            if not survivors:
+                continue
+            hub = survivors[cascade_rng.randrange(len(survivors))]
+            center = topo.position(hub)
+        else:  # proximity
+            angle = cascade_rng.uniform(0.0, 2.0 * math.pi)
+            dist = cascade_rng.uniform(parent.radius * 0.5, parent.radius * 1.5)
+            center = Point(
+                min(plan.area, max(0.0, parent.center[0] + dist * math.cos(angle))),
+                min(plan.area, max(0.0, parent.center[1] + dist * math.sin(angle))),
+            )
+        circle = Circle(center, radius)
+        failed_nodes, cut_links = _resolve_circle(topo, circle)
+        if not failed_nodes and not cut_links:
+            continue
+        child = FailureEvent(
+            time=time,
+            event_id=assign_id(),
+            center=(circle.center.x, circle.center.y),
+            radius=circle.radius,
+            failed_nodes=failed_nodes,
+            cut_links=cut_links,
+            cause="cascade",
+            parent_id=parent.event_id,
+        )
+        drafts.append(child)
+        queue.append((child, depth + 1))
+
+    # -- per-element repairs -------------------------------------------
+    repair_rng = plan.rng("repair")
+    lo, hi = plan.repair_delay_range
+    all_failures = [e for e in drafts if isinstance(e, FailureEvent)]
+    for event in all_failures:
+        for node in event.failed_nodes:
+            time = event.time + repair_rng.uniform(lo, hi)
+            if time <= plan.duration_s:
+                drafts.append(
+                    RepairEvent(
+                        time=time,
+                        event_id=assign_id(),
+                        node=node,
+                        parent_id=event.event_id,
+                    )
+                )
+        for link in event.cut_links:
+            time = event.time + repair_rng.uniform(lo, hi)
+            if time <= plan.duration_s:
+                drafts.append(
+                    RepairEvent(
+                        time=time,
+                        event_id=assign_id(),
+                        link=link,
+                        parent_id=event.event_id,
+                    )
+                )
+
+    # -- flap oscillations ---------------------------------------------
+    if plan.n_flapping_links:
+        flap_rng = plan.rng("flap")
+        links = sorted((l.u, l.v) for l in topo.links())
+        if len(links) < plan.n_flapping_links:
+            raise TimelineError(
+                f"plan wants {plan.n_flapping_links} flapping links but the "
+                f"topology only has {len(links)}"
+            )
+        chosen: List[Tuple[int, int]] = []
+        pool = list(links)
+        for _ in range(plan.n_flapping_links):
+            chosen.append(pool.pop(flap_rng.randrange(len(pool))))
+        span = plan.flap_cycles * plan.flap_period_s
+        for link in chosen:
+            start = flap_rng.uniform(0.0, max(0.0, plan.duration_s - span))
+            for cycle in range(plan.flap_cycles):
+                down_at = start + cycle * plan.flap_period_s
+                up_at = down_at + plan.flap_period_s / 2.0
+                if down_at > plan.duration_s:
+                    break
+                drafts.append(
+                    FlapEvent(
+                        time=down_at, event_id=assign_id(), link=link, down=True
+                    )
+                )
+                if up_at <= plan.duration_s:
+                    drafts.append(
+                        FlapEvent(
+                            time=up_at, event_id=assign_id(), link=link, down=False
+                        )
+                    )
+
+    return tuple(sorted(drafts, key=lambda e: e.sort_key()))

@@ -1,0 +1,111 @@
+"""Seeded plans for time-evolving failure timelines.
+
+The paper evaluates one static failure region per convergence window
+(§IV-A); a :class:`TimelinePlan` instead describes a large-scale outage
+as a *process*: primary failure regions land over a span of simulated
+time, cascading secondary regions follow them (triggered by proximity or
+by overload of the surviving boundary routers), repair crews bring
+elements back per-link with their own delays, and a few links flap in
+fixed oscillation cycles — the multi-failure regime motivating
+Enhanced-MRC (arXiv 1212.0311) and the transient-failure model of
+Bhosle–Gonzalez (arXiv 0810.3438).
+
+Like :class:`~repro.chaos.plan.FaultPlan`, a plan is a frozen dataclass
+fully determined by its ``seed``: :func:`repro.timeline.build_events`
+over the same plan and topology yields a bit-identical event sequence in
+any process, independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import TimelineError
+from ..failures import PAPER_RADIUS_RANGE
+from ..topology import DEFAULT_AREA
+
+#: Cascade trigger modes.
+CASCADE_MODES = ("proximity", "load")
+
+
+@dataclass(frozen=True)
+class TimelinePlan:
+    """A seeded description of one time-evolving outage."""
+
+    seed: int = 0
+    #: Simulated span of the timeline, seconds.
+    duration_s: float = 3600.0
+    #: Primary (root-cause) failure regions landing on the timeline.
+    n_failures: int = 3
+    #: Radius range of primary circles (§IV-A default 100–300).
+    radius_range: Tuple[float, float] = PAPER_RADIUS_RANGE
+    #: Side length of the square deployment area.
+    area: float = DEFAULT_AREA
+    #: Per-opportunity probability that a failure spawns a cascade.
+    cascade_probability: float = 0.35
+    #: Maximum cascade generations below a primary failure.
+    cascade_depth: int = 2
+    #: Seconds between a failure and the cascade it triggers.
+    cascade_delay_range: Tuple[float, float] = (30.0, 180.0)
+    #: Cascade radius as a fraction of its parent's radius.
+    cascade_radius_factor: float = 0.6
+    #: How cascades pick their center: near the parent region
+    #: ("proximity") or at an overloaded surviving boundary router
+    #: ("load").
+    cascade_mode: str = "proximity"
+    #: Seconds between an element failing and its repair completing.
+    repair_delay_range: Tuple[float, float] = (600.0, 1800.0)
+    #: Links oscillating up/down independently of the failure regions.
+    n_flapping_links: int = 1
+    #: Full down+up period of one flap oscillation, seconds.
+    flap_period_s: float = 60.0
+    #: Oscillations per flapping link.
+    flap_cycles: int = 3
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise TimelineError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.n_failures < 1:
+            raise TimelineError(f"n_failures must be >= 1, got {self.n_failures}")
+        for name in ("radius_range", "cascade_delay_range", "repair_delay_range"):
+            lo, hi = getattr(self, name)
+            if not 0.0 <= lo <= hi:
+                raise TimelineError(f"{name} must satisfy 0 <= lo <= hi, got {lo, hi}")
+        if not 0.0 <= self.cascade_probability <= 1.0:
+            raise TimelineError(
+                f"cascade_probability must be in [0, 1], got {self.cascade_probability}"
+            )
+        if self.cascade_depth < 0:
+            raise TimelineError(
+                f"cascade_depth must be >= 0, got {self.cascade_depth}"
+            )
+        if self.cascade_radius_factor <= 0.0:
+            raise TimelineError(
+                f"cascade_radius_factor must be > 0, got {self.cascade_radius_factor}"
+            )
+        if self.cascade_mode not in CASCADE_MODES:
+            raise TimelineError(
+                f"cascade_mode must be one of {CASCADE_MODES}, got {self.cascade_mode!r}"
+            )
+        if self.n_flapping_links < 0:
+            raise TimelineError(
+                f"n_flapping_links must be >= 0, got {self.n_flapping_links}"
+            )
+        if self.n_flapping_links and (
+            self.flap_period_s <= 0.0 or self.flap_cycles < 1
+        ):
+            raise TimelineError(
+                "flapping links need flap_period_s > 0 and flap_cycles >= 1"
+            )
+
+    def rng(self, stream: str) -> random.Random:
+        """An independent deterministic RNG for one builder ``stream``.
+
+        Salted with ``zlib.crc32`` (never ``hash()``) so streams are
+        stable across processes and ``PYTHONHASHSEED`` values.
+        """
+        salt = zlib.crc32(stream.encode("utf-8"))
+        return random.Random((self.seed & 0xFFFFFFFF) * 0x1_0000_0000 + salt)

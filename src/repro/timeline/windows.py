@@ -1,0 +1,230 @@
+"""Convergence windows: where the timeline meets RTR's two phases.
+
+Each group of simultaneous events opens a new *convergence window*: the
+IGP restarts reconvergence on the new ground truth
+(:class:`~repro.routing.linkstate.LinkStateProtocol`), and until the
+network reconverges RTR is the only thing delivering packets.  A window
+therefore carries:
+
+* the **active failure state** as a
+  :class:`~repro.failures.FailureScenario` (region failures, minus
+  completed repairs, plus links currently flapped down);
+* the **reconvergence timeline** for that state
+  (:class:`~repro.routing.linkstate.ConvergenceReport`);
+* a **lookahead fault plan**: timeline events that fire *inside* this
+  window's reconvergence interval, translated to mid-walk
+  :class:`~repro.chaos.SecondaryFailure` / \
+  :class:`~repro.chaos.SecondaryRepair` specs at the network-hop the
+  event's wall-clock offset corresponds to (1.8 ms per recovery hop,
+  the §IV-A delay model) — so a packet walking this window can race a
+  repair crew or be caught by a cascading region.
+
+Windows model each event group as a fresh convergence run over the full
+active failure set — the paper's single-window evaluation is exactly
+the one-group special case, which keeps the static Table III/IV path
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chaos import FaultPlan, SecondaryFailure, SecondaryRepair
+from ..failures import FailureScenario
+from ..routing.linkstate import (
+    ConvergenceConfig,
+    ConvergenceReport,
+    LinkStateProtocol,
+)
+from ..topology import Link, Topology
+from .builder import build_events
+from .events import FailureEvent, FlapEvent, RepairEvent, TimelineEvent
+from .plan import TimelinePlan
+
+#: Seconds of wall clock one network-wide recovery hop represents —
+#: the §IV-A per-hop delay (100 µs router + 1.7 ms propagation).
+HOP_SECONDS = 0.0018
+
+
+@dataclass
+class ConvergenceWindow:
+    """One reconvergence interval of the evolving outage."""
+
+    index: int
+    #: Simulated time the opening event group fired.
+    start: float
+    #: Start of the next window (or the plan's horizon).
+    end: float
+    #: The simultaneous events that opened this window.
+    events: Tuple[TimelineEvent, ...]
+    #: Ground-truth failure state while this window is open.
+    scenario: FailureScenario
+    #: Mid-walk chaos derived from events inside the reconvergence
+    #: interval; null when nothing fires mid-window.
+    fault_plan: FaultPlan
+    #: IGP reconvergence timeline for the active state.
+    report: ConvergenceReport
+    #: Diagnostic tallies (active element counts).
+    active_failed_nodes: Tuple[int, ...] = field(default_factory=tuple)
+    active_failed_links: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+
+
+def _event_down_links(topo: Topology, event: FailureEvent) -> List[Link]:
+    """Every link ``event`` takes down, incident links included."""
+    links = {Link.of(u, v) for u, v in event.cut_links}
+    for node in event.failed_nodes:
+        links.update(topo.incident_links(node))
+    return sorted(links)
+
+
+def _lookahead_plan(
+    plan: TimelinePlan,
+    topo: Topology,
+    scenario: FailureScenario,
+    index: int,
+    start: float,
+    horizon: float,
+    upcoming: Sequence[TimelineEvent],
+    hop_seconds: float,
+) -> FaultPlan:
+    """Translate events inside ``(start, start + horizon]`` to chaos specs."""
+    sec_failures: Dict[Tuple[int, int], int] = {}
+    sec_repairs: Dict[Tuple[int, int], int] = {}
+    for ev in upcoming:
+        if not start < ev.time <= start + horizon:
+            continue
+        at_hop = max(1, math.ceil((ev.time - start) / hop_seconds))
+        if isinstance(ev, FailureEvent):
+            for link in _event_down_links(topo, ev):
+                if (
+                    scenario.is_link_live(link)
+                    and scenario.is_node_live(link.u)
+                    and scenario.is_node_live(link.v)
+                ):
+                    sec_failures.setdefault((link.u, link.v), at_hop)
+        elif isinstance(ev, RepairEvent):
+            if ev.link is None:
+                # A router resurrecting mid-walk is not modeled; its
+                # links come back at the window this event opens.
+                continue
+            link = Link.of(*ev.link)
+            if (
+                not scenario.is_link_live(link)
+                and scenario.is_node_live(link.u)
+                and scenario.is_node_live(link.v)
+            ):
+                sec_repairs.setdefault((link.u, link.v), at_hop)
+        elif isinstance(ev, FlapEvent):
+            link = Link.of(*ev.link)
+            if not (scenario.is_node_live(link.u) and scenario.is_node_live(link.v)):
+                continue
+            key = (link.u, link.v)
+            if ev.down:
+                if scenario.is_link_live(link):
+                    sec_failures.setdefault(key, at_hop)
+            else:
+                # Legal when the link is scenario-failed *or* this same
+                # plan flaps it down first (the oscillation pairing).
+                if not scenario.is_link_live(link) or key in sec_failures:
+                    sec_repairs.setdefault(key, at_hop)
+    seed = zlib.crc32(f"{plan.seed}:{index}".encode("utf-8"))
+    return FaultPlan(
+        seed=seed,
+        secondary_failures=tuple(
+            SecondaryFailure(at_hop=h, link=l)
+            for l, h in sorted(sec_failures.items(), key=lambda kv: (kv[1], kv[0]))
+        ),
+        secondary_repairs=tuple(
+            SecondaryRepair(at_hop=h, link=l)
+            for l, h in sorted(sec_repairs.items(), key=lambda kv: (kv[1], kv[0]))
+        ),
+    )
+
+
+def build_windows(
+    topo: Topology,
+    plan: TimelinePlan,
+    events: Optional[Sequence[TimelineEvent]] = None,
+    convergence: Optional[ConvergenceConfig] = None,
+    hop_seconds: float = HOP_SECONDS,
+) -> List[ConvergenceWindow]:
+    """Replay ``events`` (built from ``plan`` if omitted) into windows."""
+    if events is None:
+        events = build_events(plan, topo)
+    events = sorted(events, key=lambda e: e.sort_key())
+
+    # Group simultaneous events: one window per distinct firing time.
+    groups: List[List[TimelineEvent]] = []
+    for ev in events:
+        if groups and groups[-1][0].time == ev.time:
+            groups[-1].append(ev)
+        else:
+            groups.append([ev])
+
+    node_down: Dict[int, int] = {}
+    link_down: Dict[Link, int] = {}
+
+    def bump(counts, key, delta) -> None:
+        counts[key] = counts.get(key, 0) + delta
+        if counts[key] <= 0:
+            del counts[key]
+
+    protocol = LinkStateProtocol(topo, convergence)
+    windows: List[ConvergenceWindow] = []
+    for index, group in enumerate(groups):
+        for ev in group:
+            if isinstance(ev, FailureEvent):
+                for node in ev.failed_nodes:
+                    bump(node_down, node, +1)
+                for u, v in ev.cut_links:
+                    bump(link_down, Link.of(u, v), +1)
+            elif isinstance(ev, RepairEvent):
+                if ev.node is not None:
+                    bump(node_down, ev.node, -1)
+                else:
+                    bump(link_down, Link.of(*ev.link), -1)
+            elif isinstance(ev, FlapEvent):
+                bump(link_down, Link.of(*ev.link), +1 if ev.down else -1)
+        start = group[0].time
+        end = groups[index + 1][0].time if index + 1 < len(groups) else plan.duration_s
+        active_nodes = tuple(sorted(node_down))
+        active_links = tuple(sorted((l.u, l.v) for l in link_down))
+        scenario = FailureScenario(
+            topo,
+            failed_nodes=active_nodes,
+            failed_links=[Link.of(u, v) for u, v in active_links],
+        )
+        report = protocol.apply_failure(
+            set(scenario.failed_nodes), set(scenario.failed_links)
+        )
+        # The full reconvergence interval, deliberately NOT clipped to
+        # this window's `end`: an event that opens window i+1 still
+        # races packets launched in window i that are mid-walk.
+        horizon = report.network_converged_at
+        fault_plan = _lookahead_plan(
+            plan,
+            topo,
+            scenario,
+            index,
+            start,
+            horizon,
+            events[sum(len(g) for g in groups[: index + 1]) :],
+            hop_seconds,
+        )
+        windows.append(
+            ConvergenceWindow(
+                index=index,
+                start=start,
+                end=end,
+                events=tuple(group),
+                scenario=scenario,
+                fault_plan=fault_plan,
+                report=report,
+                active_failed_nodes=active_nodes,
+                active_failed_links=active_links,
+            )
+        )
+    return windows

@@ -13,6 +13,7 @@ from .generators import (
 from . import isp_catalog
 from .io import load_topology, save_topology, topology_from_dict, topology_to_dict
 from .rocketfuel import load_rocketfuel
+from .specs import topology_from_spec
 from . import validation
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "load_topology",
     "save_topology",
     "topology_from_dict",
+    "topology_from_spec",
     "topology_to_dict",
     "validation",
 ]

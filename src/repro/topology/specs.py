@@ -1,0 +1,56 @@
+"""One-string topology specs shared by the CLI and the soak service.
+
+A spec is resolved in order:
+
+* ``grid:RxC`` or ``grid:RxC:SPACING`` — a synthetic grid
+  (:func:`~repro.topology.generators.grid_topology`), the fast option
+  for soak smoke runs and tests;
+* an ``AS`` name (``AS1239``) — built from the Table II catalog;
+* anything else — a topology JSON path for
+  :func:`~repro.topology.io.load_topology`.
+
+Errors are always :class:`~repro.errors.EvaluationError` with a
+one-line, user-facing message — the CLI prints them verbatim and exits
+2 instead of dumping a traceback.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..errors import EvaluationError, ReproError
+from .generators import grid_topology
+from .graph import Topology
+from . import isp_catalog
+from .io import load_topology
+
+_GRID_RE = re.compile(r"^grid:(\d+)x(\d+)(?::(\d+(?:\.\d+)?))?$", re.IGNORECASE)
+
+
+def topology_from_spec(spec: str, seed: int = 0) -> Topology:
+    """Resolve ``spec`` to a topology; raise ``EvaluationError`` if unusable."""
+    match = _GRID_RE.match(spec.strip())
+    if match:
+        rows, cols = int(match.group(1)), int(match.group(2))
+        if rows < 2 or cols < 2:
+            raise EvaluationError(
+                f"grid spec {spec!r} needs at least 2x2 nodes"
+            )
+        spacing = float(match.group(3)) if match.group(3) else 100.0
+        return grid_topology(rows, cols, spacing=spacing)
+    if spec.lower().startswith("grid:"):
+        raise EvaluationError(
+            f"malformed grid spec {spec!r}; expected grid:RxC or grid:RxC:SPACING"
+        )
+    if spec.upper().startswith("AS") and not Path(spec).exists():
+        return isp_catalog.build(spec.upper(), seed=seed)
+    if not Path(spec).exists():
+        raise EvaluationError(
+            f"unknown topology {spec!r}: not a grid spec, not a catalog AS "
+            "name, and no such file"
+        )
+    try:
+        return load_topology(spec)
+    except (ReproError, ValueError, KeyError, OSError) as exc:
+        raise EvaluationError(f"cannot load topology {spec!r}: {exc}") from exc

@@ -1,0 +1,125 @@
+"""Secondary repairs: mid-walk link restoration and flap oscillation."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosRuntime,
+    DegradedLocalView,
+    FaultPlan,
+    SecondaryFailure,
+    SecondaryRepair,
+)
+from repro.errors import ChaosError
+from repro.failures import FailureScenario
+from repro.topology import Link
+
+
+class TestSpecValidation:
+    def test_at_hop_must_be_positive(self):
+        with pytest.raises(ChaosError):
+            SecondaryRepair(at_hop=0)
+
+    def test_plan_with_repairs_is_not_null(self):
+        plan = FaultPlan(secondary_repairs=(SecondaryRepair(at_hop=1),))
+        assert not plan.is_null()
+
+
+class TestResolution:
+    def test_explicit_repair_of_cut_link(self, ring8):
+        scenario = FailureScenario(ring8, failed_links=[Link.of(0, 1)])
+        plan = FaultPlan(
+            seed=1, secondary_repairs=(SecondaryRepair(at_hop=2, link=(0, 1)),)
+        )
+        runtime = ChaosRuntime(plan, scenario)
+        assert not runtime.is_link_repaired(Link.of(0, 1))
+
+    def test_repair_of_live_link_rejected(self, ring8):
+        scenario = FailureScenario(ring8, failed_links=[Link.of(0, 1)])
+        plan = FaultPlan(
+            seed=1, secondary_repairs=(SecondaryRepair(at_hop=2, link=(4, 5)),)
+        )
+        with pytest.raises(ChaosError, match="live link"):
+            ChaosRuntime(plan, scenario)
+
+    def test_repair_of_failed_router_link_rejected(self, ring8):
+        scenario = FailureScenario(ring8, failed_nodes=[0])
+        plan = FaultPlan(
+            seed=1, secondary_repairs=(SecondaryRepair(at_hop=2, link=(0, 1)),)
+        )
+        with pytest.raises(ChaosError, match="failed router"):
+            ChaosRuntime(plan, scenario)
+
+    def test_repair_of_missing_link_rejected(self, ring8):
+        scenario = FailureScenario(ring8, failed_links=[Link.of(0, 1)])
+        plan = FaultPlan(
+            seed=1, secondary_repairs=(SecondaryRepair(at_hop=2, link=(0, 4)),)
+        )
+        with pytest.raises(ChaosError, match="missing link"):
+            ChaosRuntime(plan, scenario)
+
+    def test_seeded_choice_is_deterministic(self, ring8):
+        scenario = FailureScenario(
+            ring8, failed_links=[Link.of(0, 1), Link.of(2, 3)]
+        )
+        plan = FaultPlan(seed=5, secondary_repairs=(SecondaryRepair(at_hop=1),))
+        runs = []
+        for _ in range(2):
+            runtime = ChaosRuntime(plan, scenario)
+            runtime.on_hop()
+            runs.append(sorted(runtime.repaired_links))
+        assert runs[0] == runs[1]
+        assert len(runs[0]) == 1
+
+
+class TestActivation:
+    def test_repair_restores_reachability(self, ring8):
+        scenario = FailureScenario(ring8, failed_links=[Link.of(0, 1)])
+        plan = FaultPlan(
+            seed=1, secondary_repairs=(SecondaryRepair(at_hop=3, link=(0, 1)),)
+        )
+        runtime = ChaosRuntime(plan, scenario)
+        view = DegradedLocalView(scenario, plan, runtime)
+        assert not view.is_neighbor_reachable(0, 1)
+        runtime.on_hop()
+        runtime.on_hop()
+        assert not view.is_neighbor_reachable(0, 1)  # hop 2: not yet
+        runtime.on_hop()
+        assert view.is_neighbor_reachable(0, 1)  # hop 3: crew finished
+        assert runtime.repairs_activated == 1
+
+    def test_flap_oscillation_down_then_up(self, ring8):
+        scenario = FailureScenario(ring8, failed_links=[Link.of(0, 1)])
+        plan = FaultPlan(
+            seed=1,
+            secondary_failures=(SecondaryFailure(at_hop=1, link=(4, 5)),),
+            secondary_repairs=(SecondaryRepair(at_hop=4, link=(4, 5)),),
+        )
+        runtime = ChaosRuntime(plan, scenario)
+        view = DegradedLocalView(scenario, plan, runtime)
+        assert view.is_neighbor_reachable(4, 5)
+        runtime.on_hop()  # flap down
+        assert not view.is_neighbor_reachable(4, 5)
+        for _ in range(3):
+            runtime.on_hop()  # flap back up at hop 4
+        assert view.is_neighbor_reachable(4, 5)
+        # The up half clears the flap; the link is not marked "repaired".
+        assert not runtime.is_link_repaired(Link.of(4, 5))
+        assert runtime.flapped_links == set()
+
+    def test_failure_after_repair_wins(self, ring8):
+        # A repair may fire before the failure that flaps its link down
+        # (legal because the link is a flap target of this plan); the
+        # later failure overrides it and the link ends down.
+        scenario = FailureScenario(ring8, failed_links=[Link.of(0, 1)])
+        plan = FaultPlan(
+            seed=1,
+            secondary_failures=(SecondaryFailure(at_hop=2, link=(4, 5)),),
+            secondary_repairs=(SecondaryRepair(at_hop=1, link=(4, 5)),),
+        )
+        runtime = ChaosRuntime(plan, scenario)
+        view = DegradedLocalView(scenario, plan, runtime)
+        runtime.on_hop()
+        assert runtime.is_link_repaired(Link.of(4, 5))
+        runtime.on_hop()  # the failure lands: down again, repair voided
+        assert not view.is_neighbor_reachable(4, 5)
+        assert not runtime.is_link_repaired(Link.of(4, 5))

@@ -67,6 +67,96 @@ class TestRecoverCommand:
         assert code == 1
 
 
+class TestErrorHygiene:
+    """Usage errors: one ``error:`` line on stderr, exit 2, no traceback."""
+
+    def test_recover_unknown_topology(self, capsys):
+        assert main(["recover", "--topology", "nosuch.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "unknown topology" in err
+
+    def test_recover_malformed_grid(self, capsys):
+        assert main(["recover", "--topology", "grid:1x1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "2x2" in err
+
+    def test_eval_unknown_topology(self, capsys):
+        assert main(["eval", "table3", "--cases", "2", "--topos", "BOGUS"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "BOGUS" in err
+
+    def test_eval_unknown_scheme(self, capsys):
+        code = main(
+            ["eval", "table3", "--cases", "2", "--topos", "AS1239",
+             "--approaches", "rtr"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown recovery scheme 'rtr'" in err
+
+    def test_grid_spec_accepted(self, capsys):
+        assert main(["topo", "stats", "grid:3x3:200"]) == 0
+        assert "9" in capsys.readouterr().out
+
+
+class TestSoakCommand:
+    _FLAGS = [
+        "soak",
+        "--topology", "grid:4x4:400",
+        "--duration", "300",
+        "--failures", "1",
+        "--flapping-links", "1",
+        "--flap-period", "30",
+        "--flap-cycles", "1",
+        "--flows", "1000",
+        "--workers", "1",
+    ]
+
+    def test_run_and_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self._FLAGS + ["--run-dir", str(run_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "RTR" in captured.out and "OSPF" in captured.out
+        assert "convergence windows" in captured.err
+        summary = (run_dir / "summary.json").read_bytes()
+        # Resuming a completed run re-summarizes byte-identically.
+        assert main(["soak", "--resume", str(run_dir)]) == 0
+        assert (run_dir / "summary.json").read_bytes() == summary
+
+    def test_start_refuses_existing_journal(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self._FLAGS + ["--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(self._FLAGS + ["--run-dir", str(run_dir)]) == 2
+        assert "already holds a soak journal" in capsys.readouterr().err
+
+    def test_resume_missing_dir(self, capsys, tmp_path):
+        assert main(["soak", "--resume", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "not a soak run" in err
+
+    def test_bad_config_rejected(self, capsys, tmp_path):
+        code = main(
+            ["soak", "--checkpoint-every", "0",
+             "--run-dir", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "checkpoint_every" in capsys.readouterr().err
+
+    def test_unknown_approach_rejected(self, capsys, tmp_path):
+        code = main(
+            self._FLAGS
+            + ["--approaches", "rtr", "--run-dir", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "unknown recovery scheme" in capsys.readouterr().err
+
+
 class TestEvalCommand:
     def test_table2(self, capsys):
         assert main(["eval", "table2"]) == 0

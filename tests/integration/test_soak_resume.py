@@ -1,0 +1,166 @@
+"""Process-level crash recovery of ``repro soak``.
+
+The acceptance contract of the soak service: ``kill -9`` the process at
+an arbitrary instant, ``repro soak --resume`` the run directory, and the
+final ``summary.json`` is byte-identical to an uninterrupted run — even
+when a pool worker was SIGKILLed mid-shard and the shard requeued.
+
+The victim runs in its own session (``start_new_session``) and is killed
+via ``os.killpg`` with output on DEVNULL: a plain ``p.kill()`` orphans
+the pool's fork workers, which inherit any output pipe and keep it open
+forever.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.soak import CHAOS_KILL_ENV
+
+_FLAGS = [
+    "--topology", "grid:5x5:400",
+    "--seed", "7",
+    "--duration", "600",
+    "--failures", "2",
+    "--flapping-links", "1",
+    "--flap-period", "30",
+    "--flap-cycles", "2",
+    "--flows", "2000",
+    "--checkpoint-every", "1",
+    "--workers", "2",
+]
+
+
+def _env(**extra):
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    env.update(extra)
+    return env
+
+
+def _soak(run_dir, *, resume=False, env=None, check=True):
+    argv = [sys.executable, "-m", "repro", "soak"]
+    if resume:
+        argv += ["--resume", str(run_dir)]
+    else:
+        argv += _FLAGS + ["--run-dir", str(run_dir)]
+    out = subprocess.run(
+        argv,
+        env=env or _env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        check=check,
+    )
+    return out.returncode
+
+
+@pytest.fixture(scope="module")
+def reference_summary(tmp_path_factory):
+    """One uninterrupted run: the byte-level ground truth."""
+    run_dir = tmp_path_factory.mktemp("soak-ref") / "run"
+    assert _soak(run_dir) == 0
+    return (run_dir / "summary.json").read_bytes()
+
+
+class TestKillResume:
+    def test_sigkill_then_resume_is_byte_identical(
+        self, tmp_path, reference_summary
+    ):
+        run_dir = tmp_path / "run"
+        p = subprocess.Popen(
+            [sys.executable, "-m", "repro", "soak"]
+            + _FLAGS
+            + ["--run-dir", str(run_dir)],
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        try:
+            # Kill the whole session the instant the first checkpoint
+            # lands — mid-run, between batches.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if (run_dir / "checkpoint.json").exists():
+                    break
+                if p.poll() is not None:
+                    pytest.fail("soak run exited before its first checkpoint")
+                time.sleep(0.005)
+            else:
+                pytest.fail("no checkpoint within 60s")
+            killed_mid_run = not (run_dir / "summary.json").exists()
+            os.killpg(p.pid, signal.SIGKILL)
+        finally:
+            p.wait()
+
+        assert killed_mid_run, "victim finished before the kill landed"
+        assert not (run_dir / "summary.json").exists()
+        assert _soak(run_dir, resume=True) == 0
+        assert (run_dir / "summary.json").read_bytes() == reference_summary
+
+    def test_resume_after_clean_interrupt(self, tmp_path, reference_summary):
+        """SIGTERM → exit 3 with a final checkpoint; resume completes."""
+        run_dir = tmp_path / "run"
+        p = subprocess.Popen(
+            [sys.executable, "-m", "repro", "soak"]
+            + _FLAGS
+            + ["--run-dir", str(run_dir)],
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if (run_dir / "checkpoint.json").exists():
+                    break
+                if p.poll() is not None:
+                    pytest.fail("soak run exited before its first checkpoint")
+                time.sleep(0.005)
+            else:
+                pytest.fail("no checkpoint within 60s")
+            p.send_signal(signal.SIGTERM)
+            rc = p.wait(timeout=120)
+        except BaseException:
+            os.killpg(p.pid, signal.SIGKILL)
+            p.wait()
+            raise
+        if rc == 0:
+            # The run finished before the signal landed; parity still
+            # must hold, the interrupt path just was not exercised.
+            pytest.skip("run completed before SIGTERM landed")
+        assert rc == 3
+        assert (run_dir / "checkpoint.json").exists()
+        assert not (run_dir / "summary.json").exists()
+        assert _soak(run_dir, resume=True) == 0
+        assert (run_dir / "summary.json").read_bytes() == reference_summary
+
+
+class TestRequeuedShard:
+    def test_worker_sigkill_requeues_and_preserves_parity(
+        self, tmp_path, reference_summary
+    ):
+        """A pool worker SIGKILLs itself mid-shard (window 2); the
+        hardened pool rebuilds, requeues, and the summary is still
+        byte-identical."""
+        run_dir = tmp_path / "run"
+        marker = tmp_path / "killed.marker"
+        rc = _soak(
+            run_dir,
+            env=_env(**{CHAOS_KILL_ENV: f"{marker}:2"}),
+            check=False,
+        )
+        assert rc == 0
+        assert marker.exists(), "the chaos kill hook never fired"
+        assert (run_dir / "summary.json").read_bytes() == reference_summary

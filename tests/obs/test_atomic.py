@@ -1,0 +1,65 @@
+"""Torn-write-proof artifact writes (repro.obs.atomic)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import atomic_write_json, atomic_write_text
+
+
+class TestHappyPath:
+    def test_text_written(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        out = atomic_write_text(path, "hello\n")
+        assert out == path
+        assert path.read_text() == "hello\n"
+
+    def test_json_canonical(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"b": 1, "a": [1.5, None]})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"b": 1, "a": [1.5, None]}
+        # sort_keys → "a" serialized before "b"
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_creates_into_missing_parent(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.json"
+        atomic_write_json(path, {"x": 1})
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_overwrite_replaces(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+
+class TestTornWrites:
+    def test_interrupted_write_preserves_previous_version(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-write (simulated by failing the flush) must leave
+        the previous complete version in place and no temp litter."""
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"generation": 1})
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_json(path, {"generation": 2})
+        monkeypatch.undo()
+
+        assert json.loads(path.read_text()) == {"generation": 1}
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "artifact.json"]
+        assert leftovers == []
+
+    def test_failed_serialization_leaves_no_file(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,91 @@
+"""Checkpoint journal: RNG serialization, versioning, atomicity."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import SoakError
+from repro.soak import (
+    CHECKPOINT_VERSION,
+    SoakCheckpoint,
+    load_checkpoint,
+    rng_state_from_json,
+    rng_state_to_json,
+    write_checkpoint,
+)
+
+
+class TestRngState:
+    def test_round_trip_resumes_the_stream(self):
+        rng = random.Random(42)
+        [rng.random() for _ in range(10)]
+        state = rng_state_from_json(
+            json.loads(json.dumps(rng_state_to_json(rng.getstate())))
+        )
+        clone = random.Random(0)
+        clone.setstate(state)
+        assert [clone.random() for _ in range(5)] == [
+            rng.random() for _ in range(5)
+        ]
+
+
+def _checkpoint(**overrides):
+    kwargs = dict(
+        config_hash="abc",
+        events_digest="def",
+        n_windows=8,
+        cursor=4,
+        salts=[1, 2, 3, 4],
+        rng_state=rng_state_to_json(random.Random(7).getstate()),
+        records={"RTR": [{"approach": "RTR", "delivered_demand": 1.5}]},
+        obs_snapshot=None,
+    )
+    kwargs.update(overrides)
+    return SoakCheckpoint(**kwargs)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        cp = _checkpoint()
+        back = SoakCheckpoint.from_dict(
+            json.loads(json.dumps(cp.as_dict()))
+        )
+        assert back.as_dict() == cp.as_dict()
+
+    def test_version_mismatch_rejected(self):
+        d = _checkpoint().as_dict()
+        d["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(SoakError, match="version"):
+            SoakCheckpoint.from_dict(d)
+
+    def test_restore_rng_continues_where_it_stopped(self):
+        rng = random.Random(99)
+        [rng.random() for _ in range(3)]
+        cp = _checkpoint(rng_state=rng_state_to_json(rng.getstate()))
+        restored = cp.restore_rng()
+        assert restored.random() == rng.random()
+
+
+class TestJournalIo:
+    def test_write_then_load(self, tmp_path):
+        cp = _checkpoint()
+        write_checkpoint(tmp_path, cp)
+        loaded = load_checkpoint(tmp_path)
+        assert loaded is not None
+        assert loaded.as_dict() == cp.as_dict()
+
+    def test_missing_journal_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+
+    def test_corrupt_journal_raises_soak_error(self, tmp_path):
+        (tmp_path / "checkpoint.json").write_text("{not json")
+        with pytest.raises(SoakError, match="unreadable checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_float_exactness_through_journal(self, tmp_path):
+        value = 0.1 + 0.2  # a float that doesn't print prettily
+        cp = _checkpoint(records={"RTR": [{"delivered_demand": value}]})
+        write_checkpoint(tmp_path, cp)
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.records["RTR"][0]["delivered_demand"] == value

@@ -1,0 +1,63 @@
+"""SoakConfig validation and exact JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import SoakError
+from repro.soak import SoakConfig
+from repro.timeline import TimelinePlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"approaches": ()},
+            {"checkpoint_every": 0},
+            {"workers": 0},
+            {"n_flows": -1},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(SoakError):
+            SoakConfig(**kwargs)
+
+    def test_approaches_normalized_to_tuple(self):
+        config = SoakConfig(approaches=["RTR", "OSPF"])
+        assert config.approaches == ("RTR", "OSPF")
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        config = SoakConfig(
+            topology="grid:4x4:250",
+            approaches=("RTR",),
+            n_flows=5000,
+            timeline=TimelinePlan(seed=9, duration_s=120.0),
+        )
+        assert SoakConfig.from_dict(config.to_dict()) == config
+
+    def test_survives_json(self):
+        config = SoakConfig(timeline=TimelinePlan(seed=3))
+        text = json.dumps(config.to_dict(), sort_keys=True)
+        assert SoakConfig.from_dict(json.loads(text)) == config
+
+    def test_unknown_keys_rejected(self):
+        d = SoakConfig().to_dict()
+        d["bogus"] = 1
+        with pytest.raises(SoakError, match="unknown soak config keys: bogus"):
+            SoakConfig.from_dict(d)
+
+    def test_unknown_timeline_keys_rejected(self):
+        d = SoakConfig().to_dict()
+        d["timeline"]["bogus"] = 1
+        with pytest.raises(SoakError, match="unknown timeline keys: bogus"):
+            SoakConfig.from_dict(d)
+
+    def test_timeline_dict_normalized_in_constructor(self):
+        plan = TimelinePlan(seed=4)
+        from dataclasses import asdict
+
+        config = SoakConfig(timeline=asdict(plan))
+        assert config.timeline == plan

@@ -1,0 +1,158 @@
+"""In-process SoakService behavior: completion, journals, interruption."""
+
+import json
+import signal
+
+import pytest
+
+from repro.errors import SoakError
+from repro.soak import SoakConfig, SoakService, load_checkpoint, run_window_shard
+from repro.timeline import TimelinePlan
+
+
+def _config(**overrides):
+    kwargs = dict(
+        topology="grid:4x4:400",
+        approaches=("RTR", "OSPF"),
+        n_flows=1000,
+        checkpoint_every=3,
+        workers=1,
+        timeline=TimelinePlan(
+            seed=2,
+            duration_s=300.0,
+            n_failures=1,
+            cascade_probability=0.0,
+            n_flapping_links=1,
+            flap_period_s=30.0,
+            flap_cycles=1,
+        ),
+    )
+    kwargs.update(overrides)
+    return SoakConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def completed(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("soak") / "run"
+    service = SoakService.start(_config(), run_dir)
+    status, summary = service.run()
+    assert status == "completed"
+    return service, summary
+
+
+class TestCompletion:
+    def test_summary_written_and_equal(self, completed):
+        service, summary = completed
+        on_disk = json.loads((service.run_dir / "summary.json").read_text())
+        assert on_disk == summary
+
+    def test_summary_covers_every_window(self, completed):
+        service, summary = completed
+        assert summary["windows_done"] == summary["n_windows"] == len(service.windows)
+        for name in service.config.approaches:
+            assert len(service.records[name]) == len(service.windows)
+            assert summary["approaches"][name]["scenarios"] == len(service.windows)
+
+    def test_checkpoint_matches_final_state(self, completed):
+        service, _ = completed
+        cp = load_checkpoint(service.run_dir)
+        assert cp.cursor == len(service.windows)
+        assert cp.events_digest == service.events_digest
+        assert len(cp.salts) == len(service.windows)
+
+    def test_window_manifests_written(self, completed):
+        service, _ = completed
+        manifests = sorted((service.run_dir / "windows").glob("window-*.json"))
+        assert len(manifests) == len(service.windows)
+        first = json.loads(manifests[0].read_text())
+        assert first["window"] == 0
+        assert set(first["records"]) == set(service.config.approaches)
+
+    def test_shard_rerun_is_bit_identical(self, completed):
+        service, _ = completed
+        config_json = json.dumps(
+            service.config.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        again = run_window_shard(config_json, 0)
+        assert again == {
+            name: service.records[name][0] for name in service.config.approaches
+        }
+
+
+class TestStartResume:
+    def test_start_refuses_existing_journal(self, completed):
+        service, _ = completed
+        with pytest.raises(SoakError, match="already holds a soak journal"):
+            SoakService.start(service.config, service.run_dir)
+
+    def test_resume_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(SoakError, match="not a soak run"):
+            SoakService.resume(tmp_path / "nope")
+
+    def test_resume_completed_run_resummarizes_identically(self, completed):
+        service, summary = completed
+        resumed = SoakService.resume(service.run_dir)
+        assert resumed.cursor == len(resumed.windows)
+        status, summary2 = resumed.run()
+        assert status == "completed"
+        assert summary2 == summary
+
+    def test_resume_rejects_config_drift(self, completed, tmp_path):
+        service, _ = completed
+        drifted = tmp_path / "drift"
+        drifted.mkdir()
+        other = _config(n_flows=2000)
+        (drifted / "config.json").write_text(json.dumps(other.to_dict()))
+        cp_text = (service.run_dir / "checkpoint.json").read_text()
+        (drifted / "checkpoint.json").write_text(cp_text)
+        with pytest.raises(SoakError, match="config hash"):
+            SoakService.resume(drifted)
+
+
+class TestInterruption:
+    # checkpoint_every=1 so the run needs several batches and a signal
+    # raised after the first one interrupts before completion.
+    def test_signal_stops_after_current_batch(self, tmp_path):
+        service = SoakService.start(
+            _config(checkpoint_every=1), tmp_path / "run"
+        )
+        assert len(service.windows) > 1
+        original = service._run_batch
+
+        def batch_then_signal():
+            original()
+            service._on_signal(signal.SIGTERM, None)
+
+        service._run_batch = batch_then_signal
+        status, summary = service.run()
+        assert status == "interrupted"
+        assert summary is None
+        assert not (service.run_dir / "summary.json").exists()
+        cp = load_checkpoint(service.run_dir)
+        assert cp.cursor == 1
+
+    def test_interrupted_run_resumes_to_same_summary(self, tmp_path):
+        reference_service = SoakService.start(
+            _config(checkpoint_every=1), tmp_path / "reference"
+        )
+        status, reference = reference_service.run()
+        assert status == "completed"
+
+        service = SoakService.start(
+            _config(checkpoint_every=1), tmp_path / "run"
+        )
+        original = service._run_batch
+
+        def batch_then_signal():
+            original()
+            service._on_signal(signal.SIGINT, None)
+
+        service._run_batch = batch_then_signal
+        status, _ = service.run()
+        assert status == "interrupted"
+
+        resumed = SoakService.resume(service.run_dir)
+        assert resumed.cursor == 1
+        status, summary = resumed.run()
+        assert status == "completed"
+        assert summary == reference

@@ -1,0 +1,98 @@
+"""Cross-process determinism of the timeline (the soak parity bedrock).
+
+The same :class:`TimelinePlan` must expand to a bit-identical event
+sequence — and identical window fault plans — in fresh interpreter
+processes under different ``PYTHONHASHSEED`` values.  Every digest the
+soak journal checks on resume depends on this.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.timeline import TimelinePlan, build_events, build_windows, events_digest
+from repro.topology import grid_topology
+
+_PLAN_KWARGS = dict(
+    seed=23,
+    duration_s=900.0,
+    n_failures=2,
+    cascade_probability=0.8,
+    cascade_delay_range=(5.0, 60.0),
+    n_flapping_links=2,
+    flap_period_s=20.0,
+    flap_cycles=2,
+)
+
+_CHILD = """
+import json, zlib
+from repro.timeline import TimelinePlan, build_events, build_windows, events_digest
+from repro.topology import grid_topology
+topo = grid_topology(6, 6, spacing=400.0)
+plan = TimelinePlan(**{kwargs!r})
+events = build_events(plan, topo)
+print(events_digest(events))
+for w in build_windows(topo, plan, events=events):
+    payload = json.dumps(
+        [w.fault_plan.seed]
+        + [[s.at_hop, list(s.link)] for s in w.fault_plan.secondary_failures]
+        + [[s.at_hop, list(s.link)] for s in w.fault_plan.secondary_repairs],
+        separators=(",", ":"),
+    )
+    print(zlib.crc32(payload.encode()))
+"""
+
+
+@pytest.fixture(scope="module")
+def expected():
+    topo = grid_topology(6, 6, spacing=400.0)
+    plan = TimelinePlan(**_PLAN_KWARGS)
+    events = build_events(plan, topo)
+    lines = [events_digest(events)]
+    import json
+    import zlib
+
+    for w in build_windows(topo, plan, events=events):
+        payload = json.dumps(
+            [w.fault_plan.seed]
+            + [[s.at_hop, list(s.link)] for s in w.fault_plan.secondary_failures]
+            + [[s.at_hop, list(s.link)] for s in w.fault_plan.secondary_repairs],
+            separators=(",", ":"),
+        )
+        lines.append(str(zlib.crc32(payload.encode())))
+    return lines
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("hash_seed", ["0", "4242"])
+    def test_events_and_fault_plans_bit_identical(self, expected, hash_seed):
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", _CHILD.format(kwargs=_PLAN_KWARGS)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.split() == expected, f"PYTHONHASHSEED={hash_seed}"
+
+
+class TestInProcess:
+    def test_rebuild_is_bit_identical(self):
+        topo = grid_topology(6, 6, spacing=400.0)
+        plan = TimelinePlan(**_PLAN_KWARGS)
+        assert build_events(plan, topo) == build_events(plan, topo)
+
+    def test_seed_changes_the_stream(self):
+        topo = grid_topology(6, 6, spacing=400.0)
+        a = build_events(TimelinePlan(**{**_PLAN_KWARGS, "seed": 1}), topo)
+        b = build_events(TimelinePlan(**{**_PLAN_KWARGS, "seed": 2}), topo)
+        assert events_digest(a) != events_digest(b)

@@ -1,0 +1,59 @@
+"""TimelinePlan validation and the determinism of its RNG streams."""
+
+import pytest
+
+from repro.errors import TimelineError
+from repro.timeline import CASCADE_MODES, TimelinePlan
+
+
+class TestValidation:
+    def test_defaults_construct(self):
+        plan = TimelinePlan()
+        assert plan.seed == 0
+        assert plan.cascade_mode in CASCADE_MODES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0.0},
+            {"duration_s": -1.0},
+            {"n_failures": 0},
+            {"radius_range": (300.0, 100.0)},
+            {"radius_range": (-1.0, 100.0)},
+            {"cascade_probability": 1.5},
+            {"cascade_probability": -0.1},
+            {"cascade_depth": -1},
+            {"cascade_delay_range": (10.0, 5.0)},
+            {"cascade_radius_factor": 0.0},
+            {"cascade_mode": "voodoo"},
+            {"repair_delay_range": (100.0, 50.0)},
+            {"n_flapping_links": -1},
+            {"n_flapping_links": 1, "flap_period_s": 0.0},
+            {"n_flapping_links": 1, "flap_cycles": 0},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(TimelineError):
+            TimelinePlan(**kwargs)
+
+    def test_no_flapping_skips_flap_validation(self):
+        # flap knobs are ignored when no links flap
+        TimelinePlan(n_flapping_links=0, flap_period_s=0.0, flap_cycles=0)
+
+
+class TestRngStreams:
+    def test_same_stream_same_draws(self):
+        plan = TimelinePlan(seed=7)
+        a = [plan.rng("x").random() for _ in range(3)]
+        b = [plan.rng("x").random() for _ in range(3)]
+        assert a == b
+
+    def test_distinct_streams_decorrelated(self):
+        plan = TimelinePlan(seed=7)
+        assert plan.rng("primaries").random() != plan.rng("flaps").random()
+
+    def test_distinct_seeds_decorrelated(self):
+        assert (
+            TimelinePlan(seed=1).rng("x").random()
+            != TimelinePlan(seed=2).rng("x").random()
+        )

@@ -1,0 +1,131 @@
+"""Convergence-window construction: state replay, lookahead chaos."""
+
+import pytest
+
+from repro.chaos import ChaosRuntime
+from repro.timeline import (
+    FailureEvent,
+    TimelinePlan,
+    build_events,
+    build_windows,
+)
+from repro.topology import Link, grid_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return grid_topology(5, 5, spacing=400.0)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    # Tight cadence so events land inside reconvergence intervals and
+    # the lookahead fault plans are non-trivial.
+    return TimelinePlan(
+        seed=3,
+        duration_s=600.0,
+        n_failures=2,
+        cascade_probability=1.0,
+        cascade_delay_range=(0.5, 2.0),
+        n_flapping_links=1,
+        flap_period_s=1.0,
+        flap_cycles=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def windows(plan, topo):
+    return build_windows(topo, plan)
+
+
+class TestStructure:
+    def test_one_window_per_distinct_time(self, plan, topo, windows):
+        events = build_events(plan, topo)
+        assert len(windows) == len({e.time for e in events})
+        assert sum(len(w.events) for w in windows) == len(events)
+
+    def test_windows_tile_the_timeline(self, plan, windows):
+        for a, b in zip(windows, windows[1:]):
+            assert a.end == b.start
+        assert windows[-1].end == plan.duration_s
+
+    def test_window_events_are_simultaneous(self, windows):
+        for w in windows:
+            assert {e.time for e in w.events} == {w.start}
+
+
+class TestStateReplay:
+    def test_scenario_matches_active_tallies(self, windows):
+        for w in windows:
+            assert tuple(sorted(w.scenario.failed_nodes)) == w.active_failed_nodes
+
+    def test_repairs_shrink_the_active_set(self, windows):
+        # By the end of this plan every element is repaired or flapped
+        # back up except those still pending past the horizon; at least
+        # one window must be strictly smaller than its predecessor.
+        sizes = [
+            len(w.active_failed_nodes) + len(w.active_failed_links)
+            for w in windows
+        ]
+        assert any(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_reports_are_fresh_per_window(self, windows):
+        for w in windows:
+            assert w.report.network_converged_at >= 0.0
+
+
+class TestLookaheadChaos:
+    def test_some_window_has_midwalk_chaos(self, windows):
+        assert any(not w.fault_plan.is_null() for w in windows)
+
+    def test_fault_plans_validate_against_their_scenario(self, windows):
+        # ChaosRuntime's constructor rejects specs that are illegal for
+        # the scenario; every generated plan must construct cleanly.
+        for w in windows:
+            ChaosRuntime(w.fault_plan, w.scenario)
+
+    def test_secondary_failures_target_live_links(self, windows):
+        for w in windows:
+            for spec in w.fault_plan.secondary_failures:
+                link = Link.of(*spec.link)
+                assert w.scenario.is_link_live(link)
+                assert w.scenario.is_node_live(link.u)
+                assert w.scenario.is_node_live(link.v)
+
+    def test_secondary_repairs_target_down_or_flapped(self, windows):
+        for w in windows:
+            fail_keys = {
+                tuple(sorted(spec.link))
+                for spec in w.fault_plan.secondary_failures
+            }
+            for spec in w.fault_plan.secondary_repairs:
+                link = Link.of(*spec.link)
+                key = (link.u, link.v)
+                assert (not w.scenario.is_link_live(link)) or key in fail_keys
+
+    def test_at_hops_positive(self, windows):
+        for w in windows:
+            for spec in (
+                w.fault_plan.secondary_failures + w.fault_plan.secondary_repairs
+            ):
+                assert spec.at_hop >= 1
+
+
+class TestStaticEquivalence:
+    def test_single_event_group_is_the_paper_case(self, topo):
+        """One simultaneous event group == the static single-window
+        evaluation: the window's scenario is exactly the region's."""
+        plan = TimelinePlan(
+            seed=5,
+            duration_s=60.0,
+            n_failures=1,
+            cascade_probability=0.0,
+            n_flapping_links=0,
+            repair_delay_range=(1e6, 2e6),  # repairs never land
+        )
+        windows = build_windows(topo, plan)
+        assert len(windows) == 1
+        (w,) = windows
+        (ev,) = w.events
+        assert isinstance(ev, FailureEvent)
+        assert set(ev.failed_nodes) <= set(w.scenario.failed_nodes)
