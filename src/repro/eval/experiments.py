@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from .. import obs
 from ..failures import FailureScenario, circle_scenarios, fixed_radius_scenarios
 from ..routing import RoutingTable, SPTCache
-from ..topology import Topology, isp_catalog
+from ..topology import Topology, isp_catalog, topology_from_spec
 from .cases import (
     CaseSet,
     count_failed_routing_paths,
@@ -47,10 +47,16 @@ _TOPOLOGY_CACHE: Dict[Tuple[str, int], Topology] = {}
 
 
 def _build_topology(name: str, seed: int) -> Topology:
+    """Resolve any topology spec (catalog AS, ``grid:``, ``scale:``, ``file:``).
+
+    Catalog names remain the common case; routing through
+    :func:`~repro.topology.specs.topology_from_spec` lets every
+    experiment run on generated internet-scale or file-loaded graphs too.
+    """
     key = (name, seed)
     topo = _TOPOLOGY_CACHE.get(key)
     if topo is None:
-        topo = isp_catalog.build(name, seed=seed)
+        topo = topology_from_spec(name, seed=seed)
         _TOPOLOGY_CACHE[key] = topo
     return topo
 

@@ -24,6 +24,14 @@ Workers memoize the generated case set per process (a
 :class:`~concurrent.futures.ProcessPoolExecutor` reuses processes), so
 the per-topology generation cost is paid once per worker, not once per
 shard.
+
+Large topologies skip the per-worker rebuild entirely: the parent
+exports the graph's flat arrays into one ``multiprocessing``
+shared-memory block (:mod:`repro.topology.shm`) and ships workers a
+small picklable spec; each worker attaches the block and its numpy CSR
+mirror aliases the shared pages zero-copy.  ``REPRO_SHM=off|force``
+overrides the node-count threshold; without numpy the rebuild path is
+used unchanged.
 """
 
 from __future__ import annotations
@@ -33,6 +41,15 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..routing import SPTCache
+from ..topology.shm import (
+    ShmTopologySpec,
+    TopologyExport,
+    attach_topology,
+    export_topology,
+    shm_eligible,
+    shm_mode,
+    shm_supported,
+)
 from .cases import CaseSet, TestCase, generate_cases
 from .metrics import (
     CaseRecord,
@@ -75,15 +92,47 @@ def shard_cases(case_set: CaseSet, n_shards: int) -> List[List[TestCase]]:
     return shards
 
 
+def _shared_exports(
+    topologies: Sequence[str], seed: int
+) -> Dict[str, TopologyExport]:
+    """Export each eligible topology once for a parallel run.
+
+    Callers must release every export in a ``finally`` — the exports are
+    refcounted, so overlapping runs (and ``run_sharded``'s pool-rebuild
+    retry rounds, which all happen within one export's lifetime) share
+    blocks instead of duplicating them.
+    """
+    exports: Dict[str, TopologyExport] = {}
+    if not shm_supported() or shm_mode() == "off":
+        return exports
+    from .experiments import _build_topology
+
+    for name in topologies:
+        topo = _build_topology(name, seed)
+        if shm_eligible(topo):
+            exports[name] = export_topology(topo)
+    return exports
+
+
+def _worker_topology(name: str, seed: int, shm_spec: Optional[ShmTopologySpec]):
+    if shm_spec is not None:
+        return attach_topology(shm_spec)
+    from .experiments import _build_topology
+
+    return _build_topology(name, seed)
+
+
 def _worker_case_set(
-    name: str, n_recoverable: int, n_irrecoverable: int, seed: int
+    name: str,
+    n_recoverable: int,
+    n_irrecoverable: int,
+    seed: int,
+    shm_spec: Optional[ShmTopologySpec] = None,
 ) -> tuple:
     key = (name, n_recoverable, n_irrecoverable, seed)
     state = _WORKER_STATE.get(key)
     if state is None:
-        from .experiments import _build_topology
-
-        topo = _build_topology(name, seed)
+        topo = _worker_topology(name, seed, shm_spec)
         rng = random.Random(seed * 7_919 + 13)
         cache = SPTCache()
         case_set = generate_cases(
@@ -102,10 +151,11 @@ def _run_shard(
     approaches: Tuple[str, ...],
     shard_index: int,
     n_shards: int,
+    shm_spec: Optional[ShmTopologySpec] = None,
 ) -> Dict[str, List[CaseRecord]]:
     """Run one (topology, shard) chunk — shared by workers and the
     parent-side serial retry (which must not touch obs state)."""
-    topo, case_set, cache = _worker_case_set(name, n_rec, n_irr, seed)
+    topo, case_set, cache = _worker_case_set(name, n_rec, n_irr, seed, shm_spec)
     shard = shard_cases(case_set, n_shards)[shard_index]
     runner = EvaluationRunner(
         topo, routing=case_set.routing, approaches=approaches, sp_cache=cache
@@ -135,16 +185,30 @@ def _gather_records(
     n_shards = shards_per_topology if shards_per_topology is not None else workers
     n_shards = max(1, n_shards)
     approaches = tuple(approaches)
-    tasks: List[ShardTask] = [
-        (
-            (name, s),
-            _run_shard,
-            (name, n_recoverable, n_irrecoverable, seed, approaches, s, n_shards),
-        )
-        for name in topologies
-        for s in range(n_shards)
-    ]
-    by_shard = run_sharded(tasks, span_name="eval.parallel", workers=workers)
+    exports = _shared_exports(topologies, seed)
+    try:
+        tasks: List[ShardTask] = [
+            (
+                (name, s),
+                _run_shard,
+                (
+                    name,
+                    n_recoverable,
+                    n_irrecoverable,
+                    seed,
+                    approaches,
+                    s,
+                    n_shards,
+                    exports[name].spec if name in exports else None,
+                ),
+            )
+            for name in topologies
+            for s in range(n_shards)
+        ]
+        by_shard = run_sharded(tasks, span_name="eval.parallel", workers=workers)
+    finally:
+        for export in exports.values():
+            export.release()
     merged: Dict[str, Dict[str, List[CaseRecord]]] = {}
     for name in topologies:
         merged[name] = {a: [] for a in approaches}
@@ -187,14 +251,15 @@ def _worker_traffic_engine(
     seed: int,
     n_scenarios: int,
     approaches: Tuple[str, ...],
+    shm_spec: Optional[ShmTopologySpec] = None,
 ) -> tuple:
     key = (name, model, total_demand, n_flows, seed, n_scenarios, approaches)
     state = _TRAFFIC_WORKER_STATE.get(key)
     if state is None:
         from ..traffic import TrafficEngine, aggregate_flows, generate_matrix
-        from .experiments import _build_topology, traffic_scenario_list
+        from .experiments import traffic_scenario_list
 
-        topo = _build_topology(name, seed)
+        topo = _worker_topology(name, seed, shm_spec)
         matrix = generate_matrix(topo, model, total_demand=total_demand, seed=seed)
         flow_set = aggregate_flows(matrix, n_flows)
         scenarios = traffic_scenario_list(topo, seed, n_scenarios)
@@ -214,11 +279,12 @@ def _run_traffic_shard(
     approaches: Tuple[str, ...],
     shard_index: int,
     n_shards: int,
+    shm_spec: Optional[ShmTopologySpec] = None,
 ) -> Dict[str, list]:
     """Run one (topology, scenario-shard) chunk — shared by workers and
     the parent-side serial retry (which must not touch obs state)."""
     engine, scenarios = _worker_traffic_engine(
-        name, model, total_demand, n_flows, seed, n_scenarios, approaches
+        name, model, total_demand, n_flows, seed, n_scenarios, approaches, shm_spec
     )
     indices = shard_scenario_indices(n_scenarios, n_shards)[shard_index]
     records: Dict[str, list] = {a: [] for a in approaches}
@@ -266,16 +332,32 @@ def parallel_traffic(
     workers = jobs if jobs is not None else (os.cpu_count() or 1)
     n_shards = shards_per_topology if shards_per_topology is not None else workers
     n_shards = max(1, min(n_shards, max(1, n_scenarios)))
-    tasks: List[ShardTask] = [
-        (
-            (name, s),
-            _run_traffic_shard,
-            (name, model, demand, flows, seed, n_scenarios, approaches, s, n_shards),
-        )
-        for name in topologies
-        for s in range(n_shards)
-    ]
-    by_shard = run_sharded(tasks, span_name="traffic.parallel", workers=workers)
+    exports = _shared_exports(topologies, seed)
+    try:
+        tasks: List[ShardTask] = [
+            (
+                (name, s),
+                _run_traffic_shard,
+                (
+                    name,
+                    model,
+                    demand,
+                    flows,
+                    seed,
+                    n_scenarios,
+                    approaches,
+                    s,
+                    n_shards,
+                    exports[name].spec if name in exports else None,
+                ),
+            )
+            for name in topologies
+            for s in range(n_shards)
+        ]
+        by_shard = run_sharded(tasks, span_name="traffic.parallel", workers=workers)
+    finally:
+        for export in exports.values():
+            export.release()
     results: Dict[str, Dict] = {}
     pooled: Dict[str, list] = {a: [] for a in approaches}
     for name in topologies:

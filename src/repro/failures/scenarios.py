@@ -21,6 +21,25 @@ from .model import FailureScenario
 PAPER_RADIUS_RANGE: Tuple[float, float] = (100.0, 300.0)
 
 
+def embedding_area(topo: Topology) -> float:
+    """The side of the square the scenario centers should sample.
+
+    Catalog and generated paper-scale topologies live inside the paper's
+    2000 x 2000 map, so the default area is returned unchanged for them —
+    pinned golden sweeps draw the exact same RNG sequence.  ``scale:``
+    topologies grow their map with sqrt(n); there the real extent is used
+    so failures land anywhere on the network, not in one corner.
+    """
+    extent = 0.0
+    for node in topo.nodes():
+        p = topo.position(node)
+        if p.x > extent:
+            extent = p.x
+        if p.y > extent:
+            extent = p.y
+    return max(DEFAULT_AREA, extent)
+
+
 def random_circle(
     rng: random.Random,
     radius_range: Tuple[float, float] = PAPER_RADIUS_RANGE,
@@ -58,14 +77,17 @@ def circle_scenarios(
     topo: Topology,
     rng: random.Random,
     radius_range: Tuple[float, float] = PAPER_RADIUS_RANGE,
-    area: float = DEFAULT_AREA,
+    area: Optional[float] = None,
     require_failures: bool = True,
 ) -> Iterator[FailureScenario]:
     """An endless stream of circular-failure scenarios over ``topo``.
 
     With ``require_failures`` (the default) scenarios that destroy nothing
     are skipped — they produce no failed routing path, hence no test case.
+    ``area`` defaults to the topology's own map (:func:`embedding_area`).
     """
+    if area is None:
+        area = embedding_area(topo)
     while True:
         scenario = FailureScenario.from_region(topo, random_circle(rng, radius_range, area))
         if require_failures and not scenario.failed_links:
@@ -77,9 +99,11 @@ def fixed_radius_scenarios(
     topo: Topology,
     rng: random.Random,
     radius: float,
-    area: float = DEFAULT_AREA,
+    area: Optional[float] = None,
 ) -> Iterator[FailureScenario]:
     """Circular scenarios with a fixed radius (the Fig. 11 sweep)."""
+    if area is None:
+        area = embedding_area(topo)
     while True:
         center = Point(rng.uniform(0.0, area), rng.uniform(0.0, area))
         yield FailureScenario.from_region(topo, Circle(center, radius))

@@ -25,11 +25,12 @@ underlying tree never changes reported metrics.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from .. import obs
-from ..errors import NoPathError
+from ..errors import NoPathError, RoutingError
 from ..topology import Link, Topology
 from .dijkstra import _dijkstra_csr
 from .paths import Path
@@ -37,7 +38,33 @@ from .spt import ShortestPathTree
 
 #: Default LRU capacity.  Trees are O(nodes) dicts; at catalog sizes
 #: (≤ a few hundred nodes) this bounds the cache to tens of megabytes.
+#: At 50k+ nodes each tree is megabytes — size deliberately via
+#: :data:`SPT_CACHE_ENV` or the ``--spt-cache-entries`` CLI flag.
 DEFAULT_MAX_ENTRIES = 1024
+
+#: Environment override for the default capacity of caches the sweep
+#: drivers build internally.  Environment-based so it reaches pool
+#: workers (which inherit ``os.environ``) without widening every driver
+#: signature.
+SPT_CACHE_ENV = "REPRO_SPT_CACHE_ENTRIES"
+
+
+def default_max_entries() -> int:
+    """Capacity for caches constructed without an explicit ``max_entries``."""
+    raw = os.environ.get(SPT_CACHE_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise RoutingError(
+            f"invalid {SPT_CACHE_ENV}={raw!r}; expected a positive integer"
+        ) from None
+    if value < 1:
+        raise RoutingError(
+            f"invalid {SPT_CACHE_ENV}={raw!r}; expected a positive integer"
+        )
+    return value
 
 
 class SPTCache:
@@ -49,8 +76,10 @@ class SPTCache:
 
     __slots__ = ("max_entries", "hits", "misses", "evictions", "_entries")
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
-        self.max_entries = max_entries
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = (
+            default_max_entries() if max_entries is None else max_entries
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -97,6 +126,10 @@ class SPTCache:
             self._entries.popitem(last=False)
             self.evictions += 1
             obs.inc("spt_cache.evictions")
+            # Canonical eviction-pressure counter: sustained growth on a
+            # large sweep means the pool is thrashing and ``max_entries``
+            # should be raised (``--spt-cache-entries`` at the CLI).
+            obs.inc("routing.sptcache.evictions")
         return tree
 
     # ------------------------------------------------------------------
@@ -156,6 +189,34 @@ class SPTCache:
             )
         except NoPathError:
             return None
+
+    def seed_tree(
+        self,
+        topo: Topology,
+        root: int,
+        tree: ShortestPathTree,
+        toward_root: bool = True,
+    ) -> None:
+        """Register an externally computed *exclusion-free* tree.
+
+        Batched warmers (:meth:`repro.routing.tables.RoutingTable.warm`)
+        compute many trees in one kernel call; seeding them here lets
+        every later cache probe hit instead of recomputing.  The tree
+        must be exactly what :meth:`forward_tree` / :meth:`reverse_tree`
+        would have produced with no exclusions — the batched kernels
+        guarantee that.  Counts neither a hit nor a miss.
+        """
+        csr = topo.csr()
+        key = (id(topo), csr.version, toward_root, root, 0, 0)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = (topo, tree)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.inc("spt_cache.evictions")
+            obs.inc("routing.sptcache.evictions")
 
     # ------------------------------------------------------------------
     # Maintenance

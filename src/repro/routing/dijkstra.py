@@ -17,6 +17,11 @@ Tie-breaking is deterministic (prefer the smaller parent id), so routing
 tables and recovery paths are reproducible across runs, and hop-by-hop
 forwarding built from per-destination reverse trees is loop-free even among
 equal-cost alternatives.
+
+Large graphs dispatch to the vectorized numpy kernels in
+:mod:`repro.routing.kernels` (``REPRO_KERNEL`` selects the backend; the
+default ``auto`` keeps small graphs and targeted queries here).  The numpy
+kernels are bit-identical to this reference on the graphs they accept.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import FrozenSet, Iterable, Optional, Set
 from .. import obs
 from ..errors import NoPathError, UnknownNodeError
 from ..topology import Link, Topology
+from . import kernels
 from .paths import Path
 from .spt import ShortestPathTree
 
@@ -62,15 +68,20 @@ def _dijkstra_csr(
     """
     global _RUN_COUNT
     _RUN_COUNT += 1
-    if not obs.enabled():
-        return _dijkstra_csr_kernel(
+    backend, np_view = kernels.select_backend(topo.csr(), target)
+    if backend == "numpy":
+        kernel = lambda: kernels.dijkstra_numpy(  # noqa: E731
+            topo, np_view, root, toward_root, node_excl, link_excl
+        )
+    else:
+        kernel = lambda: _dijkstra_csr_kernel(  # noqa: E731
             topo, root, toward_root, node_excl, link_excl, target
         )
+    if not obs.enabled():
+        return kernel()
     with obs.span("dijkstra.csr"):
         obs.inc("dijkstra.runs")
-        return _dijkstra_csr_kernel(
-            topo, root, toward_root, node_excl, link_excl, target
-        )
+        return kernel()
 
 
 def _dijkstra_csr_kernel(

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from .. import obs
 from ..topology import Link, Topology
+from . import kernels
 from .spt import ShortestPathTree
 
 
@@ -115,7 +116,15 @@ def _updated_tree_kernel(
         del new.parent[node]
     affected -= removed_node_set  # failed nodes are gone for good
 
-    # 3. Reattach via a Dijkstra seeded from the intact boundary.
+    # 3. Reattach via a Dijkstra seeded from the intact boundary.  Large
+    # affected regions route through the masked-fixpoint numpy reattach
+    # (bit-identical, see repro.routing.kernels); localized failures stay
+    # on the boundary-seeded heap below, which only touches the region.
+    backend, np_view = kernels.incremental_backend(csr, len(affected))
+    if backend == "numpy":
+        return kernels.reattach_numpy(
+            topo, np_view, new, affected, node_removed, removed_link_flags
+        )
     toward_root = new.toward_root
     heap: List[tuple] = []
     best: Dict[int, float] = {}

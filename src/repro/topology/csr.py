@@ -66,6 +66,7 @@ class CSRView:
         "pair_lid",
         "n",
         "lid_size",
+        "np_cache",
     )
 
     def __init__(self, topo: "Topology", version: int) -> None:
@@ -107,6 +108,10 @@ class CSRView:
         #: One past the largest interned link id (retired ids included, so
         #: flag arrays stay indexable by any id ever handed out).
         self.lid_size = len(topo._links)
+        #: Lazily built :class:`~repro.topology.npcsr.NumpyCSR` mirror —
+        #: populated by ``npcsr.numpy_view`` (or preinstalled by the
+        #: shared-memory attach path).  ``None`` until first use.
+        self.np_cache = None
 
     # ------------------------------------------------------------------
     # Exclusion flags and signatures

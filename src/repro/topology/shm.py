@@ -1,0 +1,342 @@
+"""Zero-copy topology handoff over ``multiprocessing.shared_memory``.
+
+``run_sharded`` workers used to rebuild their topology from its spec —
+fine for 100-node catalog graphs, wasteful at 50k nodes where every pool
+process pays the generation plus CSR-construction cost again.  This
+module serializes a topology's flat arrays (coordinates, CSR adjacency,
+link table, capacities) into **one** shared-memory block in the parent;
+workers attach the block and wrap the arrays in place:
+
+* the numpy CSR mirror (:class:`~repro.topology.npcsr.NumpyCSR`) aliases
+  the shared buffers directly — the vectorized kernels in every worker
+  run on the *same physical pages*, no copy, no pickle;
+* the dict-level :class:`~repro.topology.graph.Topology` facade (needed
+  by scenario generation and the pure-Python fallback paths) is rebuilt
+  from the arrays in O(nodes + arcs) — cheaper than re-running a
+  generator and identical in every order-sensitive detail, because the
+  arrays preserve the parent's adjacency iteration order.
+
+Lifecycle: :func:`export_topology` refcounts per (topology, version), so
+overlapping users — e.g. consecutive pool-rebuild retry rounds inside
+``run_sharded`` — share one block; :meth:`TopologyExport.release` drops
+a reference and unlinks the block when the last one goes.  Workers
+attach read-only-by-convention and never unlink (the parent owns the
+block; attachments are memoized per process and unmapped at process
+exit).  Everything degrades gracefully without numpy:
+:func:`shm_supported` returns False and callers fall back to the
+rebuild-by-spec path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+from .. import obs
+from ..errors import TopologyError
+from ..geometry import Point
+from .graph import Link, Topology
+from .npcsr import NumpyCSR, numpy_or_none
+
+#: ``auto`` only hands off via shared memory at or above this node count —
+#: below it, rebuilding from the spec is at least as fast as attaching.
+SHM_MIN_NODES = 5000
+
+#: Environment variable: ``auto`` (default), ``off``, or ``force``.
+SHM_ENV = "REPRO_SHM"
+
+
+@dataclass(frozen=True)
+class ShmTopologySpec:
+    """Picklable description of an exported topology block."""
+
+    shm_name: str
+    topo_name: str
+    n_nodes: int
+    n_arcs: int
+    n_links: int  # link-table slots, retired ones included
+    version: int
+
+
+def _layout(spec: ShmTopologySpec):
+    """(name -> (offset, dtype, count)) for the block's array segments."""
+    np = numpy_or_none()
+    n, m, nl = spec.n_nodes, spec.n_arcs, spec.n_links
+    fields = (
+        ("ids", np.int64, n),
+        ("x", np.float64, n),
+        ("y", np.float64, n),
+        ("indptr", np.int64, n + 1),
+        ("nbr", np.int64, m),
+        ("lid", np.int64, m),
+        ("wfwd", np.float64, m),
+        ("wrev", np.float64, m),
+        ("link_u", np.int64, nl),
+        ("link_v", np.int64, nl),
+        ("cap", np.float64, nl),
+    )
+    layout = {}
+    offset = 0
+    for name, dtype, count in fields:
+        layout[name] = (offset, dtype, count)
+        offset += int(np.dtype(dtype).itemsize) * count
+    return layout, offset
+
+
+def _arrays(spec: ShmTopologySpec, buf) -> Dict[str, "object"]:
+    """Numpy views over a block's segments (zero copy)."""
+    np = numpy_or_none()
+    layout, total = _layout(spec)
+    if len(buf) < total:
+        raise TopologyError(
+            f"shared topology block {spec.shm_name} too small: "
+            f"{len(buf)} < {total} bytes"
+        )
+    return {
+        name: np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+        for name, (offset, dtype, count) in layout.items()
+    }
+
+
+def shm_supported() -> bool:
+    """Whether shared-memory handoff can be used in this process."""
+    return numpy_or_none() is not None
+
+
+def shm_mode() -> str:
+    """The validated ``REPRO_SHM`` setting (``auto`` when unset)."""
+    import os
+
+    mode = os.environ.get(SHM_ENV, "auto").strip().lower() or "auto"
+    if mode not in ("auto", "off", "force"):
+        raise TopologyError(
+            f"invalid {SHM_ENV}={mode!r}; expected auto, off, or force"
+        )
+    return mode
+
+
+def shm_eligible(topo: Topology) -> bool:
+    """Whether ``topo`` should be handed to workers via shared memory."""
+    if not shm_supported():
+        return False
+    mode = shm_mode()
+    if mode == "off":
+        return False
+    if mode == "force":
+        return True
+    return topo.node_count >= SHM_MIN_NODES
+
+
+class TopologyExport:
+    """Parent-side owner of one exported topology block (refcounted)."""
+
+    def __init__(self, topo: Topology, spec: ShmTopologySpec, shm) -> None:
+        self.topo = topo
+        self.spec = spec
+        self._shm = shm
+        self.refcount = 1
+
+    def release(self) -> None:
+        """Drop one reference; unlink the block when the last one goes."""
+        self.refcount -= 1
+        if self.refcount > 0:
+            return
+        key = (id(self.topo), self.spec.version)
+        _EXPORTS.pop(key, None)
+        _EXPORTS_BY_NAME.pop(self.spec.shm_name, None)
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        if obs.enabled():
+            obs.inc("shm.unlinks")
+
+
+#: Live parent-side exports: (id(topo), version) -> TopologyExport.  The
+#: export holds a strong reference to the topology, so an id() can never
+#: be reused while its entry is alive.
+_EXPORTS: Dict[Tuple[int, int], TopologyExport] = {}
+_EXPORTS_BY_NAME: Dict[str, TopologyExport] = {}
+
+
+def export_topology(topo: Topology) -> TopologyExport:
+    """Serialize ``topo``'s arrays into a shared-memory block (refcounted).
+
+    A second export of the same (topology, version) returns the existing
+    block with its refcount bumped — callers must pair every call with
+    :meth:`TopologyExport.release`.
+    """
+    np = numpy_or_none()
+    if np is None:
+        raise TopologyError("shared-memory handoff requires numpy")
+    csr = topo.csr()
+    key = (id(topo), csr.version)
+    existing = _EXPORTS.get(key)
+    if existing is not None:
+        existing.refcount += 1
+        return existing
+
+    spec = ShmTopologySpec(
+        shm_name="",
+        topo_name=topo.name,
+        n_nodes=csr.n,
+        n_arcs=len(csr.nbr),
+        n_links=len(topo._links),
+        version=csr.version,
+    )
+    _, total = _layout(spec)
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    spec = ShmTopologySpec(
+        shm_name=shm.name,
+        topo_name=spec.topo_name,
+        n_nodes=spec.n_nodes,
+        n_arcs=spec.n_arcs,
+        n_links=spec.n_links,
+        version=spec.version,
+    )
+    arrays = _arrays(spec, shm.buf)
+    arrays["ids"][:] = csr.ids
+    arrays["x"][:] = [topo._coords[node].x for node in csr.ids]
+    arrays["y"][:] = [topo._coords[node].y for node in csr.ids]
+    arrays["indptr"][:] = csr.indptr
+    arrays["nbr"][:] = csr.nbr
+    arrays["lid"][:] = csr.lid
+    arrays["wfwd"][:] = csr.wfwd
+    arrays["wrev"][:] = csr.wrev
+    arrays["link_u"][:] = [-1 if link is None else link.u for link in topo._links]
+    arrays["link_v"][:] = [-1 if link is None else link.v for link in topo._links]
+    arrays["cap"][:] = [
+        math.nan if link is None else topo._capacities.get(link, math.nan)
+        for link in topo._links
+    ]
+    export = TopologyExport(topo, spec, shm)
+    _EXPORTS[key] = export
+    _EXPORTS_BY_NAME[spec.shm_name] = export
+    if obs.enabled():
+        obs.inc("shm.exports")
+        obs.gauge("shm.block_bytes", float(total))
+    return export
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process memo: shm name -> (keepalive refs, Topology).  The mapping
+#: must stay referenced as long as the topology's numpy mirror aliases
+#: its buffer; both are dropped only at process exit.
+_ATTACHED: Dict[str, Tuple[tuple, Topology]] = {}
+
+
+def _neuter(shm) -> tuple:
+    """Disarm a handle's destructor; return refs keeping the mapping alive.
+
+    Worker attachments live for the whole process: at interpreter
+    shutdown ``SharedMemory.__del__`` would try to close the mapping
+    while numpy views still hold exported pointers into it, spewing an
+    unfixable ``BufferError`` per worker.  Clearing the handle's buffer
+    and mmap slots (after taking our own strong references) makes the
+    destructor a no-op on them; the OS unmaps at process exit.
+    """
+    keepalive = (shm, shm._buf, shm._mmap)  # type: ignore[attr-defined]
+    shm._buf = None  # type: ignore[attr-defined]
+    shm._mmap = None  # type: ignore[attr-defined]
+    return keepalive
+
+
+def _attach_block(name: str):
+    """Attach an existing block without adopting ownership of it.
+
+    Python < 3.13 registers every attachment with the resource tracker,
+    which would unlink the block when the *worker* exits; unregistering
+    restores parent-owned semantics (3.13+ has ``track=False`` for this).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - depends on python version
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        return shm
+
+
+def attach_topology(spec: ShmTopologySpec) -> Topology:
+    """The topology behind ``spec``, attached zero-copy (memoized).
+
+    In the exporting process itself this returns the original topology
+    object — the parent-side serial retry path needs no second copy.
+    """
+    export = _EXPORTS_BY_NAME.get(spec.shm_name)
+    if export is not None:
+        return export.topo
+    memo = _ATTACHED.get(spec.shm_name)
+    if memo is not None:
+        return memo[1]
+
+    shm = _attach_block(spec.shm_name)
+    buf = shm.buf
+    keepalive = _neuter(shm)
+    arrays = _arrays(spec, buf)
+    ids = arrays["ids"].tolist()
+    xs, ys = arrays["x"].tolist(), arrays["y"].tolist()
+    indptr = arrays["indptr"].tolist()
+    nbr, wfwd = arrays["nbr"].tolist(), arrays["wfwd"].tolist()
+
+    topo = Topology(spec.topo_name)
+    topo._coords = {node: Point(x, y) for node, x, y in zip(ids, xs, ys)}
+    # Adjacency slices preserve the parent's dict insertion order, so the
+    # rebuilt CSR view — and every order-sensitive kernel outcome — is
+    # identical to the parent's.
+    topo._adjacency = {
+        ids[i]: {
+            ids[nbr[arc]]: wfwd[arc] for arc in range(indptr[i], indptr[i + 1])
+        }
+        for i in range(spec.n_nodes)
+    }
+    links = [
+        None if u < 0 else Link(int(u), int(v))
+        for u, v in zip(arrays["link_u"].tolist(), arrays["link_v"].tolist())
+    ]
+    topo._links = links
+    topo._link_index = {
+        link: index for index, link in enumerate(links) if link is not None
+    }
+    topo._capacities = {
+        links[index]: cap
+        for index, cap in enumerate(arrays["cap"].tolist())
+        if links[index] is not None and not math.isnan(cap)
+    }
+    topo._version = spec.version
+
+    csr = topo.csr()
+    if csr.n != spec.n_nodes or len(csr.nbr) != spec.n_arcs:
+        raise TopologyError(
+            f"shared topology {spec.shm_name} is inconsistent: "
+            f"{csr.n} nodes / {len(csr.nbr)} arcs, expected "
+            f"{spec.n_nodes} / {spec.n_arcs}"
+        )
+    # The numpy mirror aliases the shared buffers — zero copy.
+    csr.np_cache = NumpyCSR(
+        spec.n_nodes,
+        arrays["indptr"],
+        arrays["nbr"],
+        arrays["wfwd"],
+        arrays["wrev"],
+        arrays["lid"],
+        arrays["ids"],
+        spec.n_links,
+    )
+    _ATTACHED[spec.shm_name] = (keepalive, topo)
+    if obs.enabled():
+        obs.inc("shm.attaches")
+    return topo
+
+
+def attached_count() -> int:
+    """Number of distinct blocks this process has attached (test hook)."""
+    return len(_ATTACHED)

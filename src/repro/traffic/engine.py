@@ -98,6 +98,11 @@ def classify_pairs(
     for batch in flow_set.batches():
         by_destination.setdefault(batch.destination, []).append(batch)
 
+    # One batched multi-source kernel call computes every destination
+    # tree the loop below would otherwise solve one heap run at a time
+    # (bit-identical results; a no-op for already-cached trees).
+    routing.warm(sorted(by_destination))
+
     for destination in sorted(by_destination):
         tree = routing.tree_to(destination)
         verdict: Dict[int, Optional[int]] = {

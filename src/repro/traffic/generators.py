@@ -19,6 +19,14 @@ every worker process regardless of ``PYTHONHASHSEED``:
 Every generator rescales its matrix so the aggregate demand equals the
 requested ``total_demand`` exactly (up to float rounding of one final
 multiplication) — asserted by the property tests.
+
+Scale: above :data:`SPARSE_NODE_THRESHOLD` nodes the generators stop
+enumerating all O(n²) ordered pairs and draw a seeded
+:data:`SPARSE_SAMPLE`-per-side sample of sources and destinations
+instead (hotspot destinations always include the hotspots).  Sampling
+uses a dedicated RNG stream, so matrices on smaller topologies —
+everything in the Table II catalog — are bit-identical to the
+pre-sampling dense enumeration.
 """
 
 from __future__ import annotations
@@ -41,6 +49,34 @@ GRAVITY_DISTANCE_SCALE = 500.0
 
 #: Exponent of the gravity friction term.
 GRAVITY_ALPHA = 1.0
+
+#: Above this node count the generators switch from enumerating all
+#: O(n²) ordered pairs to a seeded sample of sources and destinations —
+#: a 50k-node matrix would otherwise be 2.5 billion entries.  Catalog
+#: topologies are well below the threshold, so their matrices stay
+#: bit-identical to the dense enumeration.
+SPARSE_NODE_THRESHOLD = 256
+
+#: Sources and destinations kept per side when sampling.
+SPARSE_SAMPLE = 64
+
+
+def _pair_nodes(
+    topo: Topology, model: str, seed: int, nodes: List[int]
+) -> Tuple[List[int], List[int]]:
+    """The (sources, destinations) a model enumerates pairs over.
+
+    Dense (all nodes) below :data:`SPARSE_NODE_THRESHOLD`; above it, a
+    seeded sample of :data:`SPARSE_SAMPLE` per side, drawn from a
+    dedicated RNG stream so the dense path consumes exactly the same
+    random sequence as before sampling existed.
+    """
+    if len(nodes) <= SPARSE_NODE_THRESHOLD:
+        return nodes, nodes
+    rng = _seeded_rng(topo, f"{model}-sample", seed)
+    sources = sorted(rng.sample(nodes, SPARSE_SAMPLE))
+    destinations = sorted(rng.sample(nodes, SPARSE_SAMPLE))
+    return sources, destinations
 
 
 def _seeded_rng(topo: Topology, model: str, seed: int) -> random.Random:
@@ -77,14 +113,17 @@ def uniform_matrix(
     total_demand: float = DEFAULT_TOTAL_DEMAND,
     seed: int = 0,
 ) -> TrafficMatrix:
-    """Equal demand on every ordered pair of distinct nodes."""
-    del seed  # accepted for interface symmetry; the model has no randomness
+    """Equal demand on every enumerated ordered pair of distinct nodes.
+
+    Dense below :data:`SPARSE_NODE_THRESHOLD` (where ``seed`` is unused
+    — the model has no randomness); sampled above it (``seed`` picks the
+    pair population).
+    """
     nodes = _nodes(topo)
-    n_pairs = len(nodes) * (len(nodes) - 1)
-    per_pair = total_demand / n_pairs
-    demands = {
-        (s, d): per_pair for s in nodes for d in nodes if s != d
-    }
+    sources, destinations = _pair_nodes(topo, "uniform", seed, nodes)
+    pairs = [(s, d) for s in sources for d in destinations if s != d]
+    per_pair = total_demand / len(pairs)
+    demands = {pair: per_pair for pair in pairs}
     return TrafficMatrix(demands, name=f"uniform-{topo.name}")
 
 
@@ -103,13 +142,16 @@ def gravity_matrix(
     """
     nodes = _nodes(topo)
     rng = _seeded_rng(topo, "gravity", seed)
+    # Masses are drawn for *every* node in sorted order so the sequence —
+    # and the dense-path matrix — is unchanged by sampling.
     mass = {
         node: topo.degree(node) * math.exp(rng.gauss(0.0, 0.5)) for node in nodes
     }
+    sources, destinations = _pair_nodes(topo, "gravity", seed, nodes)
     weights: Dict[Tuple[int, int], float] = {}
-    for s in nodes:
+    for s in sources:
         ps = topo.position(s)
-        for d in nodes:
+        for d in destinations:
             if s == d:
                 continue
             pd = topo.position(d)
@@ -144,8 +186,17 @@ def hotspot_matrix(
     ranked = sorted(shuffled, key=lambda n: -topo.degree(n))
     hotspots = set(ranked[:n_hotspots])
 
-    hot_pairs = [(s, d) for s in nodes for d in nodes if s != d and d in hotspots]
-    cold_pairs = [(s, d) for s in nodes for d in nodes if s != d and d not in hotspots]
+    sources, destinations = _pair_nodes(topo, "hotspot", seed, nodes)
+    # The sampled destination set always contains the hotspots — they are
+    # the model, not an accident of the draw.
+    if destinations is not nodes:
+        destinations = sorted(set(destinations) | hotspots)
+    hot_pairs = [
+        (s, d) for s in sources for d in destinations if s != d and d in hotspots
+    ]
+    cold_pairs = [
+        (s, d) for s in sources for d in destinations if s != d and d not in hotspots
+    ]
     weights: Dict[Tuple[int, int], float] = {}
     if hot_pairs:
         per_hot = hotspot_fraction / len(hot_pairs)

@@ -1,0 +1,129 @@
+"""The vectorized cross-link pass must match the Python sweep exactly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import planarity
+from repro.geometry.planarity import (
+    NUMPY_CROSS_MIN_LINKS,
+    compute_cross_links,
+)
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+pytestmark = pytest.mark.skipif(
+    planarity._np is None, reason="vectorized cross-link pass requires numpy"
+)
+
+
+def python_sweep(links, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "python")
+    try:
+        return compute_cross_links(links)
+    finally:
+        monkeypatch.delenv("REPRO_KERNEL")
+
+
+def random_links(seed, n, long_every=7):
+    """Short segments with a sprinkle of long diagonals (both classes)."""
+    rng = random.Random(seed)
+    links = []
+    for i in range(n):
+        ax, ay = rng.uniform(0, 100), rng.uniform(0, 100)
+        reach = 90 if i % long_every == 0 else 10
+        links.append(
+            (
+                (i, i + 10_000),
+                Segment(
+                    Point(ax, ay),
+                    Point(ax + rng.uniform(-reach, reach), ay + rng.uniform(-reach, reach)),
+                ),
+            )
+        )
+    return links
+
+
+class TestVectorizedParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_mixed_lengths(self, seed, monkeypatch):
+        links = random_links(seed, 20 + seed * 25)
+        assert python_sweep(links, monkeypatch) == (
+            planarity._compute_cross_links_numpy(links)
+        )
+
+    def test_scale_topology_embedding(self, monkeypatch):
+        from repro.topology.scale import scale_topology
+
+        topo = scale_topology(1500, seed=4)
+        links = [(lk, topo.segment(lk)) for lk in topo.links()]
+        assert python_sweep(links, monkeypatch) == (
+            planarity._compute_cross_links_numpy(links)
+        )
+
+    def test_touch_and_shared_endpoint_cases(self, monkeypatch):
+        links = [
+            ((0, 1), Segment(Point(0, 0), Point(10, 0))),
+            ((1, 2), Segment(Point(10, 0), Point(10, 10))),  # shares endpoint
+            ((2, 3), Segment(Point(5, -5), Point(5, 5))),  # proper crossing
+            ((3, 4), Segment(Point(2, 0), Point(8, 0))),  # collinear overlap
+            ((4, 5), Segment(Point(3, 3), Point(7, 7))),  # disjoint
+            ((5, 6), Segment(Point(0, -4), Point(4, 0))),  # T-touch on 0-1
+        ]
+        assert python_sweep(links, monkeypatch) == (
+            planarity._compute_cross_links_numpy(links)
+        )
+
+    def test_degenerate_point_segment(self, monkeypatch):
+        links = [
+            ((0, 1), Segment(Point(0, 0), Point(10, 0))),
+            ((1, 2), Segment(Point(5, 0), Point(5, 0))),  # zero length, on 0-1
+            ((2, 3), Segment(Point(5, 3), Point(5, 3))),  # zero length, off it
+        ]
+        assert python_sweep(links, monkeypatch) == (
+            planarity._compute_cross_links_numpy(links)
+        )
+
+
+class TestDispatch:
+    def test_small_inputs_use_python_sweep(self, monkeypatch):
+        """Below the threshold the reference path runs even with numpy."""
+        calls = []
+        monkeypatch.setattr(
+            planarity,
+            "_compute_cross_links_numpy",
+            lambda links: calls.append(1),
+        )
+        links = random_links(0, 10)
+        compute_cross_links(links)
+        assert not calls
+
+    def test_large_inputs_dispatch_to_numpy(self, monkeypatch):
+        hit = []
+        real = planarity._compute_cross_links_numpy
+        monkeypatch.setattr(
+            planarity,
+            "_compute_cross_links_numpy",
+            lambda links: (hit.append(1), real(links))[1],
+        )
+        links = random_links(1, NUMPY_CROSS_MIN_LINKS, long_every=50)
+        compute_cross_links(links)
+        assert hit
+
+    def test_kernel_env_forces_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        monkeypatch.setattr(
+            planarity,
+            "_compute_cross_links_numpy",
+            lambda links: pytest.fail("numpy path ran under REPRO_KERNEL=python"),
+        )
+        links = random_links(2, NUMPY_CROSS_MIN_LINKS, long_every=50)
+        compute_cross_links(links)
+
+    def test_no_numpy_falls_back(self, monkeypatch):
+        monkeypatch.setattr(planarity, "_np", None)
+        links = random_links(3, 30)
+        ref = python_sweep(links, monkeypatch)
+        assert compute_cross_links(links) == ref

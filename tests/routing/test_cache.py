@@ -148,3 +148,69 @@ class TestCacheBehavior:
         cache.forward_tree(topo, next(iter(topo.nodes())))
         cache.clear()
         assert len(cache) == 0
+
+
+class TestCapacityPlumbing:
+    """The scale satellite: sizing the pool and watching eviction pressure."""
+
+    def test_env_sets_default_capacity(self, monkeypatch):
+        from repro.routing.cache import SPT_CACHE_ENV
+
+        monkeypatch.setenv(SPT_CACHE_ENV, "7")
+        assert SPTCache().max_entries == 7
+        # An explicit argument always wins over the environment.
+        assert SPTCache(max_entries=3).max_entries == 3
+        monkeypatch.delenv(SPT_CACHE_ENV)
+        assert SPTCache().max_entries == 1024
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        from repro.errors import RoutingError
+        from repro.routing.cache import SPT_CACHE_ENV
+
+        for bad in ("zero", "-1", "0"):
+            monkeypatch.setenv(SPT_CACHE_ENV, bad)
+            with pytest.raises(RoutingError, match=SPT_CACHE_ENV):
+                SPTCache()
+
+    def test_runner_exposes_capacity(self, topo):
+        from repro.eval.runner import EvaluationRunner
+
+        runner = EvaluationRunner(topo, spt_cache_entries=5)
+        assert runner.sp_cache.max_entries == 5
+        with pytest.raises(ValueError):
+            EvaluationRunner(topo, spt_cache_entries=0)
+
+    def test_eviction_pressure_counter(self, topo):
+        from repro import obs
+
+        prior = obs.enabled()
+        obs.enable()
+        obs.reset()
+        try:
+            cache = SPTCache(max_entries=1)
+            nodes = sorted(topo.nodes())
+            for root in nodes[:4]:
+                cache.forward_tree(topo, root)
+            counters = obs.metrics.snapshot()["counters"]
+            assert counters["routing.sptcache.evictions"] == 3
+            assert counters["spt_cache.evictions"] == 3
+        finally:
+            obs.reset()
+            if not prior:
+                obs.disable()
+
+    def test_seed_tree_serves_later_probes(self, topo):
+        cache = SPTCache()
+        root = next(iter(topo.nodes()))
+        fresh = reverse_shortest_path_tree(topo, root)
+        cache.seed_tree(topo, root, fresh, toward_root=True)
+        assert cache.reverse_tree(topo, root) is fresh
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_seed_tree_respects_capacity(self, topo):
+        cache = SPTCache(max_entries=2)
+        nodes = sorted(topo.nodes())
+        for root in nodes[:4]:
+            cache.seed_tree(topo, root, reverse_shortest_path_tree(topo, root))
+        assert cache.stats()["size"] == 2
+        assert cache.stats()["evictions"] == 2

@@ -1,0 +1,348 @@
+"""Backend parity and policy tests for the vectorized kernels.
+
+The numpy kernels (:mod:`repro.routing.kernels`) promise **bit-identical**
+output to the pure-Python reference on every eligible graph.  This module
+enforces the promise three ways:
+
+* *golden* — forced-numpy vs forced-python comparisons of full trees
+  (exact float equality, parent maps, and dict insertion order) on the
+  catalog topologies and on pinned Table III sweeps;
+* *property* — randomized connected graphs with asymmetric strictly
+  positive integer costs, random exclusion sets, both orientations;
+* *policy* — ``REPRO_KERNEL`` validation, auto-mode thresholds, the
+  no-numpy degradation path, and the always-python cases (targets,
+  non-integral costs).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geometry import Point
+from repro.routing import (
+    RoutingTable,
+    reverse_shortest_path_tree,
+    shortest_path_tree,
+)
+from repro.routing import kernels
+from repro.routing.incremental import updated_tree
+from repro.routing.kernels import batched_trees
+from repro.topology import Link, Topology, isp_catalog
+from repro.topology import npcsr
+from repro.topology.scale import scale_topology
+
+numpy_missing = npcsr.numpy_or_none() is None
+
+needs_numpy = pytest.mark.skipif(numpy_missing, reason="numpy not installed")
+
+
+def tree_fingerprint(tree):
+    """Everything the repo pins: exact distances, parents, dict order."""
+    return (
+        [(node, float(d).hex()) for node, d in tree.dist.items()],
+        dict(tree.parent),
+        list(tree.parent),
+    )
+
+
+def random_int_topology(seed: int, n: int = 40, extra: int = 50) -> Topology:
+    """A connected random graph with asymmetric integer costs in [1, 9]."""
+    rng = random.Random(seed)
+    topo = Topology(f"rand{seed}")
+    for i in range(n):
+        topo.add_node(i, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+    for i in range(1, n):
+        j = rng.randrange(i)
+        topo.add_link(
+            i, j, cost=float(rng.randint(1, 9)), reverse_cost=float(rng.randint(1, 9))
+        )
+    added = 0
+    while added < extra:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or topo.has_link(u, v):
+            continue
+        topo.add_link(
+            u, v, cost=float(rng.randint(1, 9)), reverse_cost=float(rng.randint(1, 9))
+        )
+        added += 1
+    return topo
+
+
+def both_backends(monkeypatch, fn):
+    """Run ``fn()`` under forced python, then forced numpy; return both."""
+    monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+    reference = fn()
+    monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+    vectorized = fn()
+    return reference, vectorized
+
+
+class TestKernelPolicy:
+    def test_invalid_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "turbo")
+        with pytest.raises(RoutingError, match="REPRO_KERNEL"):
+            kernels.kernel_mode()
+
+    def test_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert kernels.kernel_mode() == "auto"
+
+    def test_auto_keeps_small_graphs_on_python(self, monkeypatch, grid5):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
+        backend, view = kernels.select_backend(grid5.csr())
+        assert backend == "python" and view is None
+
+    def test_forced_numpy_without_numpy_raises(self, monkeypatch, grid5):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        monkeypatch.setattr(npcsr, "_np", None)
+        with pytest.raises(RoutingError, match="not importable"):
+            kernels.select_backend(grid5.csr())
+
+    def test_no_numpy_auto_degrades_to_python(self, monkeypatch):
+        """The whole routing stack works with numpy absent under auto."""
+        monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
+        monkeypatch.setattr(npcsr, "_np", None)
+        topo = scale_topology(64, seed=1)
+        backend, _ = kernels.select_backend(topo.csr())
+        assert backend == "python"
+        tree = shortest_path_tree(topo, next(iter(topo.nodes())))
+        assert len(tree.dist) == topo.node_count
+
+    def test_forced_python_never_runs_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        topo = scale_topology(64, seed=2)
+        before = kernels.numpy_run_count()
+        for root in list(topo.nodes())[:5]:
+            shortest_path_tree(topo, root)
+        assert kernels.numpy_run_count() == before
+
+    @needs_numpy
+    def test_target_queries_stay_python(self, monkeypatch, grid5):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        backend, _ = kernels.select_backend(grid5.csr(), target=3)
+        assert backend == "python"
+
+    @needs_numpy
+    def test_non_integral_costs_stay_python(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        topo = Topology("frac")
+        topo.add_node(0, Point(0, 0))
+        topo.add_node(1, Point(1, 0))
+        topo.add_link(0, 1, cost=0.5)
+        backend, _ = kernels.select_backend(topo.csr())
+        assert backend == "python"
+
+    @needs_numpy
+    def test_forced_numpy_actually_runs(self, monkeypatch, grid5):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        before = kernels.numpy_run_count()
+        shortest_path_tree(grid5, 0)
+        assert kernels.numpy_run_count() == before + 1
+
+
+@needs_numpy
+class TestGoldenParity:
+    @pytest.mark.parametrize("name", ["AS1239", "AS3356", "AS7018"])
+    def test_catalog_trees_bit_identical(self, monkeypatch, name):
+        topo = isp_catalog.build(name, seed=0)
+        nodes = sorted(topo.nodes())
+        roots = nodes[:: max(1, len(nodes) // 6)][:6]
+
+        def run():
+            out = []
+            for root in roots:
+                out.append(tree_fingerprint(shortest_path_tree(topo, root)))
+                out.append(tree_fingerprint(reverse_shortest_path_tree(topo, root)))
+            return out
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+    def test_catalog_trees_with_exclusions(self, monkeypatch):
+        topo = isp_catalog.build("AS1239", seed=0)
+        rng = random.Random(7)
+        nodes = sorted(topo.nodes())
+        links = list(topo.links())
+        cases = []
+        for _ in range(8):
+            root = rng.choice(nodes)
+            excl_nodes = {v for v in rng.sample(nodes, 4) if v != root}
+            excl_links = set(rng.sample(links, 5))
+            cases.append((root, frozenset(excl_nodes), frozenset(excl_links)))
+
+        def run():
+            return [
+                tree_fingerprint(
+                    shortest_path_tree(
+                        topo, root, excluded_nodes=en, excluded_links=el
+                    )
+                )
+                for root, en, el in cases
+            ]
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+    def test_pinned_table3_sweep_identical(self, monkeypatch):
+        """The exact acceptance gate: a pinned Table III sweep, both backends."""
+        from repro.eval.experiments import table3_recoverable
+
+        def run():
+            return json.dumps(
+                table3_recoverable(("AS1239",), n_cases=16, seed=0), sort_keys=True
+            )
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+    def test_pinned_table4_sweep_identical(self, monkeypatch):
+        from repro.eval.experiments import table4_wasted_summary
+
+        def run():
+            return json.dumps(
+                table4_wasted_summary(("AS3356",), n_cases=12, seed=1), sort_keys=True
+            )
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+
+@needs_numpy
+class TestPropertyParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_integer_graphs_agree(self, monkeypatch, seed):
+        topo = random_int_topology(seed)
+        rng = random.Random(seed * 31 + 1)
+        nodes = sorted(topo.nodes())
+        links = list(topo.links())
+
+        def run():
+            out = []
+            for trial in range(6):
+                root = rng_state[trial][0]
+                en, el, toward = rng_state[trial][1:]
+                fn = reverse_shortest_path_tree if toward else shortest_path_tree
+                out.append(
+                    tree_fingerprint(
+                        fn(topo, root, excluded_nodes=en, excluded_links=el)
+                    )
+                )
+            return out
+
+        rng_state = []
+        for _ in range(6):
+            root = rng.choice(nodes)
+            en = frozenset(v for v in rng.sample(nodes, 3) if v != root)
+            el = frozenset(rng.sample(links, 4))
+            rng_state.append((root, en, el, rng.random() < 0.5))
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unit_cost_graphs_agree(self, monkeypatch, seed):
+        """Unit costs exercise the O(arcs) BFS fast path."""
+        rng = random.Random(seed)
+        topo = scale_topology(200 + seed * 37, seed=seed)
+        nodes = sorted(topo.nodes())
+        roots = rng.sample(nodes, 4)
+
+        def run():
+            return [tree_fingerprint(shortest_path_tree(topo, r)) for r in roots]
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+
+@needs_numpy
+class TestBatchedKernel:
+    def test_batched_matches_per_root(self, monkeypatch):
+        topo = random_int_topology(11, n=60, extra=80)
+        roots = sorted(topo.nodes())[::7]
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        batched = [tree_fingerprint(t) for t in batched_trees(topo, roots, toward_root=True)]
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        serial = [
+            tree_fingerprint(reverse_shortest_path_tree(topo, r)) for r in roots
+        ]
+        assert batched == serial
+
+    def test_batched_with_exclusions(self, monkeypatch):
+        topo = scale_topology(300, seed=9)
+        rng = random.Random(5)
+        nodes = sorted(topo.nodes())
+        links = list(topo.links())
+        roots = rng.sample(nodes, 5)
+        en = tuple(v for v in rng.sample(nodes, 3) if v not in roots)
+        el = tuple(rng.sample(links, 4))
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        batched = [
+            tree_fingerprint(t)
+            for t in batched_trees(
+                topo, roots, toward_root=False, excluded_nodes=en, excluded_links=el
+            )
+        ]
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        serial = [
+            tree_fingerprint(
+                shortest_path_tree(
+                    topo, r, excluded_nodes=set(en), excluded_links=set(el)
+                )
+            )
+            for r in roots
+        ]
+        assert batched == serial
+
+    def test_batched_falls_back_without_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
+        monkeypatch.setattr(npcsr, "_np", None)
+        topo = scale_topology(64, seed=3)
+        roots = sorted(topo.nodes())[:4]
+        trees = batched_trees(topo, roots, toward_root=True)
+        assert [t.root for t in trees] == roots
+
+    def test_routing_table_warm_parity(self, monkeypatch):
+        topo = scale_topology(400, seed=6)
+        dsts = sorted(topo.nodes())[::37][:8]
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        warmed = RoutingTable(topo)
+        assert warmed.warm(dsts) == len(dsts)
+        assert warmed.warm(dsts) == 0  # idempotent
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        lazy = RoutingTable(topo)
+        for d in dsts:
+            assert tree_fingerprint(warmed.tree_to(d)) == tree_fingerprint(
+                lazy.tree_to(d)
+            )
+
+
+@needs_numpy
+class TestIncrementalParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reattach_matches_python(self, monkeypatch, seed):
+        topo = random_int_topology(seed + 40, n=50, extra=60)
+        rng = random.Random(seed)
+        root = rng.choice(sorted(topo.nodes()))
+        base = shortest_path_tree(topo, root)
+        links = [l for l in topo.links() if root not in l]
+        removed_links = set(rng.sample(links, 5))
+        removed_nodes = {
+            v for v in rng.sample(sorted(topo.nodes()), 2) if v != root
+        }
+
+        def run():
+            return tree_fingerprint(
+                updated_tree(topo, base, removed_links, removed_nodes)
+            )
+
+        reference, vectorized = both_backends(monkeypatch, run)
+        assert reference == vectorized
+
+    def test_auto_thresholds_gate_numpy_reattach(self, monkeypatch, grid5):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
+        backend, _ = kernels.incremental_backend(grid5.csr(), affected_count=4)
+        assert backend == "python"

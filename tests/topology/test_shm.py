@@ -1,0 +1,200 @@
+"""Shared-memory topology handoff: lifecycle, parity, and leak tests.
+
+Worker-side attachment is exercised in-process where possible (the
+rebuild logic is process-agnostic) and via real subprocesses for the
+cross-process paths; :func:`repro.topology.shm.attached_count` and the
+parent-side registries make leaks observable.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.topology import npcsr, shm
+from repro.topology.scale import scale_topology
+from repro.topology.generators import grid_topology
+
+pytestmark = pytest.mark.skipif(
+    npcsr.numpy_or_none() is None, reason="shared-memory handoff requires numpy"
+)
+
+
+@pytest.fixture
+def topo():
+    return scale_topology(200, seed=3)
+
+
+class TestEligibility:
+    def test_mode_validation(self, monkeypatch):
+        monkeypatch.setenv(shm.SHM_ENV, "sometimes")
+        with pytest.raises(Exception, match="REPRO_SHM"):
+            shm.shm_mode()
+
+    def test_auto_threshold(self, monkeypatch, topo):
+        monkeypatch.setenv(shm.SHM_ENV, "auto")
+        assert not shm.shm_eligible(topo)  # 200 < SHM_MIN_NODES
+        monkeypatch.setenv(shm.SHM_ENV, "force")
+        assert shm.shm_eligible(topo)
+        monkeypatch.setenv(shm.SHM_ENV, "off")
+        assert not shm.shm_eligible(topo)
+
+    def test_no_numpy_means_unsupported(self, monkeypatch):
+        monkeypatch.setattr(npcsr, "_np", None)
+        assert not shm.shm_supported()
+
+
+class TestExportLifecycle:
+    def test_refcounted_reexport(self, topo):
+        first = shm.export_topology(topo)
+        second = shm.export_topology(topo)
+        assert first is second and first.refcount == 2
+        name = first.spec.shm_name
+        first.release()
+        # Still attachable: one reference remains.
+        assert shm.attach_topology(first.spec) is topo
+        second.release()
+        with pytest.raises(FileNotFoundError):
+            shm._attach_block(name)
+
+    def test_version_bump_gets_fresh_block(self, topo):
+        first = shm.export_topology(topo)
+        spec_v1 = first.spec
+        first.release()
+        nodes = sorted(topo.nodes())
+        topo.remove_link(nodes[0], next(iter(topo.neighbors(nodes[0]))))
+        second = shm.export_topology(topo)
+        assert second.spec.version != spec_v1.version
+        second.release()
+
+    def test_in_process_attach_returns_original(self, topo):
+        export = shm.export_topology(topo)
+        try:
+            assert shm.attach_topology(export.spec) is topo
+        finally:
+            export.release()
+
+
+class TestCrossProcessAttach:
+    def _attach_script(self, body: str) -> str:
+        return (
+            "import base64, pickle, sys\n"
+            "from repro.topology import shm\n"
+            "spec = pickle.loads(base64.b64decode(sys.argv[1]))\n"
+            "topo = shm.attach_topology(spec)\n" + body
+        )
+
+    def _run_child(self, spec, body: str) -> str:
+        blob = base64.b64encode(pickle.dumps(spec)).decode()
+        proc = subprocess.run(
+            [sys.executable, "-c", self._attach_script(body), blob],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "BufferError" not in proc.stderr, proc.stderr
+        return proc.stdout
+
+    def test_child_rebuild_is_identical(self, topo):
+        export = shm.export_topology(topo)
+        try:
+            out = self._run_child(
+                export.spec,
+                "import json\n"
+                "print(json.dumps({\n"
+                "  'name': topo.name,\n"
+                "  'nodes': topo.node_count,\n"
+                "  'links': topo.link_count,\n"
+                # Lists survive JSON with int types and insertion order
+                # intact — the order is what pins kernel tie-breaks.
+                "  'adj': [[k, list(v.items())] for k, v in topo._adjacency.items()],\n"
+                "}))\n",
+            )
+            import json
+
+            child = json.loads(out)
+            assert child["name"] == topo.name
+            assert child["nodes"] == topo.node_count
+            assert child["links"] == topo.link_count
+            assert child["adj"] == [
+                [k, [list(item) for item in v.items()]]
+                for k, v in topo._adjacency.items()
+            ]
+        finally:
+            export.release()
+
+    def test_child_numpy_mirror_aliases_block(self, topo):
+        export = shm.export_topology(topo)
+        try:
+            out = self._run_child(
+                export.spec,
+                "view = topo.csr().np_cache\n"
+                "print(view is not None and not view.indptr.flags['OWNDATA'])\n"
+                "print(shm.attached_count())\n"
+                "topo2 = shm.attach_topology(spec)\n"
+                "print(topo2 is topo, shm.attached_count())\n",
+            )
+            lines = out.strip().splitlines()
+            assert lines[0] == "True"  # zero-copy: views don't own memory
+            assert lines[1] == "1"
+            assert lines[2] == "True 1"  # memoized, not re-attached
+        finally:
+            export.release()
+
+    def test_child_routing_matches_parent(self, topo):
+        from repro.routing import shortest_path_tree
+
+        export = shm.export_topology(topo)
+        root = sorted(topo.nodes())[0]
+        parent_tree = shortest_path_tree(topo, root)
+        try:
+            out = self._run_child(
+                export.spec,
+                "from repro.routing import shortest_path_tree\n"
+                f"tree = shortest_path_tree(topo, {root})\n"
+                "print(sorted(tree.dist.items()) == "
+                f"{sorted(parent_tree.dist.items())!r})\n",
+            )
+            assert out.strip() == "True"
+        finally:
+            export.release()
+
+
+class TestPoolRebuildLeaks:
+    def test_repeated_export_release_cycles_leave_nothing(self, topo):
+        """Simulates run_sharded pool rebuilds: N cycles, zero leftovers."""
+        names = set()
+        for _ in range(5):
+            export = shm.export_topology(topo)
+            names.add(export.spec.shm_name)
+            export.release()
+        assert len(names) == 5  # each cycle made (and unlinked) a fresh block
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shm._attach_block(name)
+        assert not shm._EXPORTS and not shm._EXPORTS_BY_NAME
+
+    def test_parallel_eval_forced_shm_matches_serial(self, monkeypatch):
+        """End to end: forced-shm parallel sweep == serial sweep, no leaks."""
+        import json
+
+        from repro.eval.experiments import table3_recoverable
+        from repro.eval.parallel import parallel_table3
+
+        monkeypatch.setenv(shm.SHM_ENV, "force")
+        parallel = parallel_table3(
+            ("grid:6x6",), n_cases=12, seed=5, jobs=2, shards_per_topology=2
+        )
+        monkeypatch.setenv(shm.SHM_ENV, "off")
+        serial = table3_recoverable(("grid:6x6",), n_cases=12, seed=5)
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+        assert not shm._EXPORTS and not shm._EXPORTS_BY_NAME
