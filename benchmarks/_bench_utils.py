@@ -81,12 +81,19 @@ def record_bench(
     span_ms: Optional[Dict[str, float]] = None,
     path: Optional[Path] = None,
     extra: Optional[Dict[str, object]] = None,
+    **extra_fields: object,
 ) -> dict:
     """Merge one benchmark measurement into a trajectory JSON.
 
     Defaults to ``BENCH_core.json``; pass ``path`` for a separate
     trajectory file (the traffic bench keeps ``BENCH_traffic.json``) and
-    ``extra`` for bench-specific fields merged into the entry.
+    ``extra`` — or any additional keyword — for bench-specific fields
+    merged into the entry.
+
+    When ``REPRO_STORE`` names a run-store path, the refreshed entry is
+    also mirrored there (best-effort: the benchmark never fails because
+    the store is locked or broken), so ``repro query trend/regress`` see
+    every recorded point, not just the latest file state.
 
     Keyed by bench name so each run refreshes its own entry and leaves the
     rest of the trajectory untouched.  ``sp_computations`` is the process
@@ -113,6 +120,23 @@ def record_bench(
         entry["span_ms"] = {k: round(v, 3) for k, v in sorted(span_ms.items())}
     if extra:
         entry.update(extra)
+    if extra_fields:
+        entry.update(extra_fields)
     data[name] = entry
     target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _mirror_to_store(target.name, name, entry)
     return data[name]
+
+
+def _mirror_to_store(bench_file: str, name: str, entry: dict) -> None:
+    """Append the refreshed row to the ``REPRO_STORE`` store, if set."""
+    store_path = os.environ.get("REPRO_STORE")
+    if not store_path:
+        return
+    try:
+        from repro.store import RunStore
+
+        with RunStore(store_path) as store:
+            store.record_bench_rows(bench_file, {name: entry})
+    except Exception as exc:  # noqa: BLE001 — recording must not fail the bench
+        print(f"warning: REPRO_STORE={store_path}: {exc}")

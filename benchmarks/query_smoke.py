@@ -1,0 +1,133 @@
+"""CI proof of the run-store regression gate (``repro query regress``).
+
+Builds a throwaway store from the checked-in fixtures — every
+``benchmarks/BENCH_*.json`` plus the ``obs-runs/`` instrumented-run
+fixture — then asserts the two halves of the gate's contract:
+
+1. against the pinned baselines themselves, ``regress`` exits 0
+   (every metric changed by exactly 0%);
+2. after ingesting a copy of ``BENCH_core.json`` with every ``span_ms``
+   doubled (a synthetic 2x slowdown), ``regress`` exits nonzero and
+   names the regressed metrics in one-line verdicts.
+
+Run from the repo root: ``PYTHONPATH=src python benchmarks/query_smoke.py``.
+Exits nonzero on any contract violation, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _cli(store: Path, *argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "query", "--store", str(store), *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def _check(condition: bool, label: str, detail: str = "") -> None:
+    if condition:
+        print(f"ok    {label}")
+    else:
+        print(f"FAIL  {label}  {detail}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main() -> int:
+    baselines = sorted((REPO / "benchmarks").glob("BENCH_*.json"))
+    _check(len(baselines) >= 3, f"found {len(baselines)} BENCH baselines")
+
+    with tempfile.TemporaryDirectory() as td:
+        tmp = Path(td)
+        store = tmp / "store.sqlite"
+
+        # -- ingest everything checked in -----------------------------
+        ingest = _cli(
+            store, "ingest", "obs-runs", *[str(p) for p in baselines]
+        )
+        _check(ingest.returncode == 0, "ingest fixtures", ingest.stderr)
+
+        # -- lossless round-trip of the obs-runs fixture --------------
+        from repro import obs  # noqa: E402 — after PYTHONPATH check
+        from repro.store import RunStore  # noqa: E402
+
+        run_dirs = [
+            d
+            for d in sorted((REPO / "obs-runs").iterdir())
+            if (d / "manifest.json").exists()
+        ]
+        show = _cli(store, "show", "1")
+        _check(show.returncode == 0, "show run 1", show.stderr)
+        stored = json.loads(show.stdout)
+        reference = obs.load_run(run_dirs[0])
+        _check(stored == reference, "run round-trips losslessly through show")
+
+        # -- bench files reconstruct byte-equal payloads --------------
+        for baseline in baselines:
+            doc = _cli(store, "show", "--bench-file", baseline.name)
+            _check(doc.returncode == 0, f"show --bench-file {baseline.name}")
+            _check(
+                json.loads(doc.stdout) == json.loads(baseline.read_text()),
+                f"{baseline.name} reconstructs losslessly",
+            )
+
+        # -- gate half 1: pinned baselines pass -----------------------
+        clean = _cli(store, "regress")
+        print(clean.stdout.splitlines()[-1])
+        _check(
+            clean.returncode == 0,
+            "regress exits 0 against pinned baselines",
+            clean.stdout + clean.stderr,
+        )
+
+        # -- gate half 2: a 2x span_ms slowdown fails -----------------
+        core = json.loads((REPO / "benchmarks" / "BENCH_core.json").read_text())
+        for entry in core.values():
+            if "span_ms" in entry:
+                entry["span_ms"] = {
+                    k: 2.0 * v for k, v in entry["span_ms"].items()
+                }
+        # Same filename: the slowed payload lands as the *latest*
+        # version of each entry on the BENCH_core.json trajectory.
+        slowed = tmp / "BENCH_core.json"
+        slowed.write_text(json.dumps(core, indent=2, sort_keys=True))
+        ingest2 = _cli(store, "ingest", str(slowed))
+        _check(ingest2.returncode == 0, "ingest 2x span_ms slowdown")
+
+        regressed = _cli(store, "regress")
+        print(regressed.stdout.splitlines()[-1])
+        _check(
+            regressed.returncode != 0,
+            "regress exits nonzero after the injected slowdown",
+        )
+        verdicts = [
+            line
+            for line in regressed.stdout.splitlines()
+            if line.startswith("REG") and "span_ms" in line
+        ]
+        _check(
+            len(verdicts) >= 1,
+            f"{len(verdicts)} one-line span_ms REG verdict(s)",
+            regressed.stdout,
+        )
+
+        # -- store file stays consistent under the WAL --------------
+        with RunStore(store) as s:
+            counts = s.counts()
+        _check(counts["bench_rows"] > len(baselines), f"store counts {counts}")
+
+    print("query_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

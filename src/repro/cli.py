@@ -22,7 +22,13 @@ Subcommands:
   summary byte-identical to an uninterrupted run (exit 3 = interrupted
   with checkpoint);
 * ``obs report`` — render the manifest/metrics/span breakdown of an
-  instrumented run (``REPRO_OBS=1 repro eval ...`` writes one);
+  instrumented run (``REPRO_OBS=1 repro eval ...`` writes one); add
+  ``--json`` for the machine-readable document;
+* ``query`` — the persistent run store (``repro.store``): ``ingest``
+  obs-runs/BENCH json/results dirs into a sqlite store, then ``list`` /
+  ``show`` / ``diff`` / ``trend`` / ``regress`` across every recorded
+  run; ``regress`` compares the latest stored rows against pinned
+  ``BENCH_*.json`` baselines and exits nonzero on a regression;
 * ``render`` — draw a topology/failure/recovery episode as SVG.
 
 Error hygiene: usage-level failures (unknown topology or scheme, bad
@@ -436,6 +442,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
     if args.obs_command == "report":
         if args.run_dir:
             run_dir = Path(args.run_dir)
@@ -465,9 +473,116 @@ def cmd_obs(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: cannot load run {run_dir}: {exc}", file=sys.stderr)
             return 1
-        print(obs.render_report(run, top=args.top))
+        if args.json:
+            print(_json.dumps(obs.run_report_doc(run), indent=2, sort_keys=True))
+        else:
+            print(obs.render_report(run, top=args.top))
         return 0
     raise AssertionError(args.obs_command)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from . import store as store_mod
+    from .errors import StoreError
+
+    store_path = Path(args.store) if args.store else store_mod.default_store_path()
+
+    if args.query_command == "ingest":
+        try:
+            with store_mod.RunStore(store_path) as store:
+                totals: dict = {}
+                for raw in args.paths:
+                    counts = store_mod.ingest_path(store, Path(raw))
+                    for kind, n in counts.items():
+                        totals[kind] = totals.get(kind, 0) + n
+                    print(
+                        f"ingested {raw}: "
+                        + ", ".join(f"{n} {kind}" for kind, n in sorted(counts.items()))
+                    )
+                print(
+                    f"store {store_path}: "
+                    + ", ".join(f"{v} {k}" for k, v in sorted(store.counts().items()))
+                )
+        except (StoreError, OSError) as exc:
+            return _usage_error(exc)
+        return 0
+
+    # Every other subcommand reads an existing store.
+    if not Path(store_path).exists():
+        return _usage_error(
+            f"run store {store_path} does not exist — create one with "
+            "`repro query ingest ...` or set REPRO_STORE and run an "
+            "instrumented command"
+        )
+    try:
+        with store_mod.RunStore(store_path) as store:
+            return _run_query(args, store, store_mod, _json)
+    except StoreError as exc:
+        return _usage_error(exc)
+
+
+def _run_query(args: argparse.Namespace, store, store_mod, _json) -> int:
+    if args.query_command == "list":
+        rows, columns = store_mod.list_rows(
+            store,
+            kind=args.kind,
+            benchmark=args.benchmark,
+            scheme=args.scheme,
+            topology=args.topology,
+            config_hash=args.config_hash,
+        )
+        print(store_mod.render_rows(rows, fmt=args.format, columns=columns))
+        return 0
+    if args.query_command == "show":
+        if args.bench_file:
+            doc = store.bench_file_doc(args.bench_file)
+        elif args.ref:
+            doc = store_mod.show_doc(store, args.ref)
+        else:
+            return _usage_error("show needs a run reference or --bench-file")
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.query_command == "diff":
+        diff = store_mod.diff_runs(store, args.run_a, args.run_b)
+        if args.format == "json":
+            print(_json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(store_mod.render_diff(diff))
+        return 0
+    if args.query_command == "trend":
+        series = store_mod.trend_series(
+            store,
+            args.metric,
+            benchmark=args.benchmark,
+            run_name=args.run,
+        )
+        print(store_mod.render_trend(series, fmt=args.format))
+        return 0
+    if args.query_command == "regress":
+        baselines = [Path(p) for p in args.baseline] if args.baseline else sorted(
+            Path("benchmarks").glob("BENCH_*.json")
+        )
+        if not baselines:
+            return _usage_error(
+                "no baseline files: pass --baseline FILE or run from a "
+                "checkout containing benchmarks/BENCH_*.json"
+            )
+        thresholds = dict(store_mod.DEFAULT_THRESHOLDS)
+        thresholds.update(store_mod.parse_threshold_overrides(args.threshold or []))
+        verdicts, code = store_mod.run_regress(
+            store,
+            baselines,
+            thresholds=thresholds,
+            benchmark=args.benchmark,
+            strict=args.strict,
+        )
+        for verdict in verdicts:
+            print(verdict.line())
+        print(store_mod.summary_line(verdicts))
+        return code
+    raise AssertionError(args.query_command)
 
 
 def cmd_render(args: argparse.Namespace) -> int:
@@ -684,7 +799,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="run directory (default: latest under REPRO_OBS_DIR or ./obs-runs)",
     )
     obs_report.add_argument("--top", type=int, default=15, help="counters to show")
+    obs_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report document instead of text",
+    )
     obs_p.set_defaults(func=cmd_obs)
+
+    query = sub.add_parser(
+        "query", help="query the persistent run store (repro.store)"
+    )
+    query.add_argument(
+        "--store",
+        help="store path (default: REPRO_STORE, else <obs run dir>/store.sqlite)",
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    q_ingest = query_sub.add_parser(
+        "ingest", help="ingest run dirs / BENCH json / results dirs"
+    )
+    q_ingest.add_argument(
+        "paths",
+        nargs="+",
+        help="obs-runs base or run dir, BENCH_*.json, or benchmarks/results dir",
+    )
+
+    q_list = query_sub.add_parser("list", help="list stored runs or bench rows")
+    q_list.add_argument(
+        "--kind", choices=["runs", "bench", "artifacts"], default="runs"
+    )
+    q_list.add_argument("--benchmark", help="filter by run/bench name")
+    q_list.add_argument("--scheme", help="filter runs by configured scheme")
+    q_list.add_argument("--topology", help="filter runs by topology id")
+    q_list.add_argument("--config-hash", help="filter by config hash")
+    q_list.add_argument(
+        "--format", choices=["table", "csv", "json"], default="table"
+    )
+
+    q_show = query_sub.add_parser("show", help="full JSON document of one run")
+    q_show.add_argument(
+        "ref",
+        nargs="?",
+        help="run id, config hash, or run/bench name (latest match wins)",
+    )
+    q_show.add_argument(
+        "--bench-file",
+        help="reconstruct a whole BENCH_*.json from latest stored rows",
+    )
+
+    q_diff = query_sub.add_parser("diff", help="compare two stored runs")
+    q_diff.add_argument("run_a")
+    q_diff.add_argument("run_b")
+    q_diff.add_argument("--format", choices=["table", "json"], default="table")
+
+    q_trend = query_sub.add_parser(
+        "trend", help="per-config time series of one metric"
+    )
+    q_trend.add_argument(
+        "metric",
+        help="bench metric, dotted for nested (wall_s, span_ms.eval.sweep)",
+    )
+    q_trend.add_argument("--benchmark", help="restrict to one bench name")
+    q_trend.add_argument("--run", help="restrict to one stored run name")
+    q_trend.add_argument(
+        "--format", choices=["table", "csv", "json"], default="table"
+    )
+
+    q_regress = query_sub.add_parser(
+        "regress", help="latest stored rows vs pinned BENCH baselines"
+    )
+    q_regress.add_argument(
+        "--baseline",
+        action="append",
+        metavar="FILE",
+        help="baseline BENCH json (repeatable; default benchmarks/BENCH_*.json)",
+    )
+    q_regress.add_argument(
+        "--threshold",
+        action="append",
+        metavar="METRIC=FRACTION",
+        help="override a relative-change threshold (e.g. wall_s=0.5)",
+    )
+    q_regress.add_argument("--benchmark", help="gate only this bench name")
+    q_regress.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when a baseline entry has no stored row (skip)",
+    )
+    query.set_defaults(func=cmd_query)
 
     render = sub.add_parser("render", help="render a topology as SVG")
     render.add_argument("--topology", default="AS1239")

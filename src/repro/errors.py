@@ -81,3 +81,7 @@ class TimelineError(ReproError):
 
 class SoakError(ReproError):
     """A soak run configuration or checkpoint journal is unusable."""
+
+
+class StoreError(ReproError):
+    """The persistent run store is missing, incompatible, or corrupt."""

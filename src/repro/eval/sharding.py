@@ -46,6 +46,11 @@ RETRIES_EXHAUSTED_COUNTER = "eval.parallel.retries_exhausted"
 #: Counter bumped once per process pool rebuilt after breaking.
 POOL_REBUILD_COUNTER = "eval.parallel.pool_rebuilds"
 
+#: Histogram of per-shard work-function wall time, observed in the
+#: worker (pool path) or the parent (exhausted-retries fallback), so
+#: ``repro obs report`` can show the shard p50/p95/p99 balance.
+SHARD_SECONDS_HISTOGRAM = "eval.shard.seconds"
+
 
 def _pool_task(payload: Tuple[Callable[..., Any], tuple]) -> tuple:
     """Run one shard in a pool process, bracketed by obs reset/snapshot.
@@ -58,7 +63,9 @@ def _pool_task(payload: Tuple[Callable[..., Any], tuple]) -> tuple:
     run_fn, args = payload
     if obs.enabled():
         obs.reset()
+    start = time.perf_counter()
     records = run_fn(*args)
+    obs.observe(SHARD_SECONDS_HISTOGRAM, time.perf_counter() - start)
     snap = obs.snapshot() if obs.enabled() else None
     return records, snap
 
@@ -162,7 +169,9 @@ def run_sharded(
                 key,
                 max_attempts,
             )
+            start = time.perf_counter()
             results[key] = run_fn(*args)
+            obs.observe(SHARD_SECONDS_HISTOGRAM, time.perf_counter() - start)
         for key in sorted(snapshots):
             obs.merge_snapshot(snapshots[key])
     return results

@@ -36,14 +36,21 @@ from typing import Dict, Iterable, Optional, Sequence
 
 from .atomic import atomic_write_json, atomic_write_text
 from .logconfig import configure_logging, get_logger
-from .manifest import RunManifest, config_hash, git_sha
-from .registry import DEFAULT_EDGES, Histogram, MetricsRegistry
+from .manifest import RunManifest, config_hash, git_sha, iso_utc
+from .registry import (
+    DEFAULT_EDGES,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+    histogram_quantiles,
+)
 from .spans import NULL_SPAN, Span, SpanAggregate, Tracer
 from .export import (
     latest_run_dir,
     load_run,
     render_prometheus,
     render_report,
+    run_report_doc,
     write_run_artifacts,
 )
 
@@ -57,6 +64,7 @@ __all__ = [
     "Tracer",
     "atomic_write_json",
     "atomic_write_text",
+    "bucket_quantile",
     "config_hash",
     "configure_logging",
     "current_span_id",
@@ -68,7 +76,9 @@ __all__ = [
     "gauge",
     "get_logger",
     "git_sha",
+    "histogram_quantiles",
     "inc",
+    "iso_utc",
     "latest_run_dir",
     "load_run",
     "merge_snapshot",
@@ -77,6 +87,7 @@ __all__ = [
     "render_report",
     "reset",
     "run_context",
+    "run_report_doc",
     "snapshot",
     "span",
     "temporarily_enabled",
@@ -249,6 +260,9 @@ def run_context(
         with span(name):
             yield manifest
     finally:
+        # Wall-clock end stamp: provenance only, outside every
+        # deterministic path and excluded from config_hash.
+        manifest.finish()
         base = Path(out_dir) if out_dir is not None else default_run_dir()
         directory = base / f"{name}-{manifest.config_hash}"
         snap = snapshot()

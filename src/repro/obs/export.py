@@ -17,11 +17,16 @@ nesting) plus the top counters.
 from __future__ import annotations
 
 import json
+import os
 import re
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from .atomic import atomic_write_json, atomic_write_text
+from .logconfig import get_logger
+from .registry import histogram_quantiles
+
+log = get_logger(__name__)
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -83,7 +88,44 @@ def write_run_artifacts(
     atomic_write_text(
         directory / "metrics.prom", render_prometheus(metrics_snapshot)
     )
+    _record_in_store(directory, manifest_dict, metrics_snapshot, span_aggregates, events)
     return directory
+
+
+def _record_in_store(
+    directory: Path,
+    manifest_dict: Dict[str, object],
+    metrics_snapshot: Dict[str, object],
+    span_aggregates: Dict[str, Dict[str, float]],
+    events: List[dict],
+) -> None:
+    """Mirror the run into the ``REPRO_STORE`` run store, if configured.
+
+    Best-effort on purpose: a broken or locked store must never fail the
+    instrumented run whose artifacts were already written.
+    """
+    store_path = os.environ.get("REPRO_STORE")
+    if not store_path:
+        return
+    try:
+        from ..store import RunStore
+
+        with RunStore(store_path) as store:
+            store.record_run(
+                manifest_dict,
+                metrics_snapshot,
+                span_aggregates,
+                events,
+                source="live",
+                run_dir=str(directory),
+            )
+    except Exception as exc:  # noqa: BLE001 — observability must not break runs
+        log.warning(
+            "REPRO_STORE=%s: failed to record run %s: %s",
+            store_path,
+            manifest_dict.get("name"),
+            exc,
+        )
 
 
 def load_run(directory: Path) -> Dict[str, object]:
@@ -106,14 +148,42 @@ def load_run(directory: Path) -> Dict[str, object]:
 
 
 def latest_run_dir(base: Path) -> Optional[Path]:
-    """The most recently written run directory under ``base``, if any."""
+    """The most recently written run directory under ``base``, if any.
+
+    Ordering is deterministic: manifest mtime first, directory name as
+    the tie-break, so two runs landing within one filesystem timestamp
+    granule always resolve the same way.
+    """
     base = Path(base)
     if not base.is_dir():
         return None
     candidates = [d for d in base.iterdir() if (d / "manifest.json").exists()]
     if not candidates:
         return None
-    return max(candidates, key=lambda d: (d / "manifest.json").stat().st_mtime)
+    return max(
+        candidates,
+        key=lambda d: ((d / "manifest.json").stat().st_mtime, d.name),
+    )
+
+
+def run_report_doc(run: Dict[str, object]) -> Dict[str, object]:
+    """The machine-readable report (``repro obs report --json``).
+
+    The loaded run plus derived histogram quantiles; raw events are
+    summarized by count (the JSONL stream stays on disk).
+    """
+    metrics: Dict[str, object] = run.get("metrics", {})  # type: ignore[assignment]
+    quantiles = {
+        name: histogram_quantiles(data)
+        for name, data in sorted(metrics.get("histograms", {}).items())  # type: ignore[union-attr]
+    }
+    return {
+        "manifest": run.get("manifest", {}),
+        "metrics": metrics,
+        "span_aggregates": run.get("span_aggregates", {}),
+        "quantiles": quantiles,
+        "events_count": len(run.get("events", [])),  # type: ignore[arg-type]
+    }
 
 
 def render_report(run: Dict[str, object], top: int = 15) -> str:
@@ -165,4 +235,20 @@ def render_report(run: Dict[str, object], top: int = 15) -> str:
         lines.append(f"  {name:48s} {shown}")
     if not counters:
         lines.append("  (no counters recorded)")
+
+    histograms: Dict[str, dict] = run["metrics"].get("histograms", {})  # type: ignore[union-attr]
+    if histograms:
+        lines.append("")
+        lines.append("histogram quantiles (bucket-estimated):")
+        lines.append(
+            f"  {'histogram':40s} {'count':>8s} {'p50':>12s} {'p95':>12s} {'p99':>12s}"
+        )
+        for name in sorted(histograms):
+            data = histograms[name]
+            q = histogram_quantiles(data)
+            cells = "".join(
+                f" {q[label]:>12.6f}" if q[label] is not None else f" {'-':>12s}"
+                for label in ("p50", "p95", "p99")
+            )
+            lines.append(f"  {name:40s} {int(data['count']):>8d}{cells}")
     return "\n".join(lines)

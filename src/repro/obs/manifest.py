@@ -15,6 +15,7 @@ import platform
 import subprocess
 import time
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -48,9 +49,21 @@ def git_sha() -> str:
         return "unknown"
 
 
+def iso_utc(ts: float) -> str:
+    """Wall-clock timestamp as ISO-8601 UTC with millisecond precision."""
+    return datetime.fromtimestamp(ts, timezone.utc).isoformat(timespec="milliseconds")
+
+
 @dataclass
 class RunManifest:
-    """Provenance of one instrumented run."""
+    """Provenance of one instrumented run.
+
+    The wall-clock fields (``started_unix``/``finished_unix``, rendered
+    as ``started_at``/``finished_at``/``duration_s``) and ``hostname``
+    are provenance only: they are stamped outside every deterministic
+    code path and deliberately excluded from :attr:`config_hash`, which
+    depends on the *configuration* alone.
+    """
 
     name: str
     seed: Optional[int] = None
@@ -59,6 +72,10 @@ class RunManifest:
     started_unix: float = field(default_factory=time.time)
     git_sha: str = field(default_factory=git_sha)
     python: str = field(default_factory=platform.python_version)
+    hostname: str = field(default_factory=platform.node)
+    #: Stamped by :func:`repro.obs.run_context` just before artifacts
+    #: are written; ``None`` while the run is still open.
+    finished_unix: Optional[float] = None
     #: Filled in by :func:`repro.obs.run_context` after artifacts are
     #: written; ``None`` while the run is still open.
     artifacts_dir: Optional[str] = None
@@ -67,14 +84,25 @@ class RunManifest:
     def config_hash(self) -> str:
         return config_hash(self.config if self.config is not None else {})
 
+    def finish(self, now: Optional[float] = None) -> None:
+        """Stamp the wall-clock end of the run (idempotent)."""
+        if self.finished_unix is None:
+            self.finished_unix = time.time() if now is None else now
+
     def as_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "name": self.name,
             "seed": self.seed,
             "config": self.config,
             "config_hash": self.config_hash,
             "topologies": list(self.topologies),
             "started_unix": round(self.started_unix, 3),
+            "started_at": iso_utc(self.started_unix),
             "git_sha": self.git_sha,
             "python": self.python,
+            "hostname": self.hostname,
         }
+        if self.finished_unix is not None:
+            doc["finished_at"] = iso_utc(self.finished_unix)
+            doc["duration_s"] = round(self.finished_unix - self.started_unix, 6)
+        return doc

@@ -71,6 +71,71 @@ class Histogram:
             "count": self.count,
         }
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the bucket boundaries."""
+        return bucket_quantile(self.edges, self.counts, self.count, q)
+
+    def quantiles(
+        self, qs: Iterable[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` estimates."""
+        return {_q_label(q): self.quantile(q) for q in qs}
+
+
+def _q_label(q: float) -> str:
+    pct = 100.0 * q
+    return f"p{pct:g}".replace(".", "_")
+
+
+def bucket_quantile(
+    edges: Iterable[float],
+    counts: Iterable[float],
+    total: int,
+    q: float,
+) -> Optional[float]:
+    """Quantile estimate from fixed histogram buckets.
+
+    Linear interpolation inside the bucket containing the target rank
+    (Prometheus ``histogram_quantile`` semantics): the first bucket's
+    lower bound is 0 (observations are nonnegative timings), and a rank
+    landing in the +Inf overflow bucket clamps to the last finite edge —
+    the estimate is then a lower bound, which is the conservative
+    direction for a latency objective.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return None
+    edges = list(edges)
+    counts = list(counts)
+    target = q * total
+    cumulative = 0.0
+    lower = 0.0
+    for edge, count in zip(edges, counts):
+        if count and cumulative + count >= target:
+            fraction = (target - cumulative) / count
+            return lower + fraction * (edge - lower)
+        cumulative += count
+        lower = edge
+    return edges[-1] if edges else None
+
+
+def histogram_quantiles(
+    data: Dict[str, object], qs: Iterable[float] = (0.5, 0.95, 0.99)
+) -> Dict[str, Optional[float]]:
+    """Quantile estimates from one exported histogram dict.
+
+    Operates on the :meth:`Histogram.as_dict` / ``metrics.json`` shape
+    (``edges``/``counts``/``count``) so loaded runs and live registries
+    share one estimator.
+    """
+    edges = list(data.get("edges", ()))  # type: ignore[arg-type]
+    counts = list(data.get("counts", ()))  # type: ignore[arg-type]
+    total = int(data.get("count", 0))  # type: ignore[arg-type]
+    return {
+        _q_label(q): bucket_quantile(edges, counts, total, q) for q in qs
+    }
+
 
 class MetricsRegistry:
     """Named counters, gauges, and histograms with deterministic merge."""

@@ -239,6 +239,7 @@ class SoakService:
                 self._run_batch()
             summary = self.summarize()
             atomic_write_json(self.run_dir / SUMMARY_NAME, summary)
+            self._finalize_in_store(summary)
             return "completed", summary
         finally:
             for sig, handler in previous.items():
@@ -263,6 +264,7 @@ class SoakService:
             for name in self.config.approaches:
                 self.records[name].append(per_approach[name])
             self._write_window_manifest(window, salt, per_approach)
+        self._record_batch_in_store(batch, salts, by_window)
         self.salts.extend(salts)
         self.cursor += len(batch)
         obs.gauge("soak.cursor", self.cursor)
@@ -271,6 +273,67 @@ class SoakService:
         obs.inc("soak.windows_done", len(batch))
         self._write_checkpoint()
         log.info("soak window %d/%d checkpointed", self.cursor, len(self.windows))
+
+    # -- run store mirroring -------------------------------------------
+    #
+    # When REPRO_STORE names a store path, the service anchors one run
+    # row on (name, config_hash) — resumes reuse it — streams each
+    # batch's window records, and attaches the final summary.  All of it
+    # is best-effort: a locked or broken store never interrupts a soak
+    # whose journal is the source of truth.
+
+    def _open_store(self):
+        store_path = os.environ.get("REPRO_STORE")
+        if not store_path:
+            return None
+        try:
+            from ..store import RunStore
+
+            return RunStore(store_path)
+        except Exception as exc:  # noqa: BLE001 — mirroring is best-effort
+            log.warning("REPRO_STORE=%s unusable: %s", store_path, exc)
+            return None
+
+    def _record_batch_in_store(self, batch, salts, by_window) -> None:
+        store = self._open_store()
+        if store is None:
+            return
+        try:
+            with store:
+                run_id = store.ensure_run(
+                    name=f"soak-{self.config_hash}",
+                    config_hash=self.config_hash,
+                    manifest={
+                        "name": f"soak-{self.config_hash}",
+                        "config": self.config.to_dict(),
+                        "config_hash": self.config_hash,
+                        "seed": self.config.timeline.seed,
+                        "topologies": [self.config.topology],
+                        "events_digest": self.events_digest,
+                        "n_windows": len(self.windows),
+                    },
+                )
+                for window, salt in zip(batch, salts):
+                    store.record_window(
+                        run_id,
+                        window.index,
+                        {"salt": salt, "records": by_window[window.index]},
+                    )
+        except Exception as exc:  # noqa: BLE001 — mirroring is best-effort
+            log.warning("run store batch record failed: %s", exc)
+
+    def _finalize_in_store(self, summary: dict) -> None:
+        store = self._open_store()
+        if store is None:
+            return
+        try:
+            with store:
+                run_id = store.ensure_run(
+                    name=f"soak-{self.config_hash}", config_hash=self.config_hash
+                )
+                store.finalize_run(run_id, summary)
+        except Exception as exc:  # noqa: BLE001 — mirroring is best-effort
+            log.warning("run store finalize failed: %s", exc)
 
     # -- journaling ----------------------------------------------------
 

@@ -1,0 +1,119 @@
+"""Filesystem importers: run dirs, BENCH trajectories, result artifacts.
+
+Everything the repo already accumulates on disk flows into the store
+through this module:
+
+* ``obs-runs/<name>-<hash>/`` directories (one instrumented run each);
+* ``benchmarks/BENCH_*.json`` perf trajectories (one entry per bench);
+* ``benchmarks/results/*.txt`` rendered tables (content-addressed text
+  artifacts).
+
+Each importer is idempotent — re-ingesting unchanged inputs inserts
+nothing — so ``repro query ingest`` can run unconditionally in CI.
+:func:`ingest_path` sniffs what a path is and dispatches.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from ..errors import StoreError
+from ..obs.export import load_run
+from .db import RunStore
+
+#: Keys whose presence marks a JSON object as a BENCH_*.json entry.
+_BENCH_ENTRY_KEYS = ("wall_s", "cases")
+
+
+def ingest_run_dir(store: RunStore, directory: Path) -> int:
+    """Import one instrumented run directory; returns its run id."""
+    directory = Path(directory)
+    if not (directory / "manifest.json").exists():
+        raise StoreError(f"{directory} is not a run directory (no manifest.json)")
+    run = load_run(directory)
+    return store.record_run(
+        run["manifest"],  # type: ignore[arg-type]
+        run["metrics"],  # type: ignore[arg-type]
+        run["span_aggregates"],  # type: ignore[arg-type]
+        run["events"],  # type: ignore[arg-type]
+        source="ingest",
+        run_dir=str(directory),
+    )
+
+
+def ingest_runs_base(store: RunStore, base: Path) -> int:
+    """Import every run directory under ``base``; returns how many."""
+    base = Path(base)
+    count = 0
+    for child in sorted(base.iterdir()):
+        if child.is_dir() and (child / "manifest.json").exists():
+            ingest_run_dir(store, child)
+            count += 1
+    return count
+
+
+def looks_like_bench_json(doc: object) -> bool:
+    """Whether a parsed JSON document has the BENCH trajectory shape."""
+    if not isinstance(doc, dict) or not doc:
+        return False
+    return all(
+        isinstance(entry, dict) and any(k in entry for k in _BENCH_ENTRY_KEYS)
+        for entry in doc.values()
+    )
+
+
+def ingest_bench_json(store: RunStore, path: Path) -> int:
+    """Import one BENCH_*.json file; returns how many rows were new."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"unreadable bench file {path}: {exc}") from exc
+    if not looks_like_bench_json(doc):
+        raise StoreError(
+            f"{path} does not look like a BENCH trajectory "
+            "(expected name -> {wall_s, cases, ...} entries)"
+        )
+    return store.record_bench_rows(path.name, doc)
+
+
+def ingest_results_dir(store: RunStore, directory: Path) -> int:
+    """Import ``*.txt`` result tables as artifacts; returns how many were new."""
+    directory = Path(directory)
+    count = 0
+    for path in sorted(directory.glob("*.txt")):
+        if store.record_artifact(path.name, path.read_text(), str(path)):
+            count += 1
+    return count
+
+
+def ingest_path(store: RunStore, path: Path) -> Dict[str, int]:
+    """Sniff ``path`` and import it; returns per-kind insert counts.
+
+    * a directory holding ``manifest.json`` → one run;
+    * a directory whose children hold ``manifest.json`` → a runs base;
+    * a ``.json`` file with the trajectory shape → bench rows;
+    * a directory with ``.txt`` files → result artifacts.
+    """
+    path = Path(path)
+    if path.is_dir():
+        if (path / "manifest.json").exists():
+            ingest_run_dir(store, path)
+            return {"runs": 1}
+        runs = ingest_runs_base(store, path)
+        if runs:
+            return {"runs": runs}
+        artifacts = ingest_results_dir(store, path)
+        if artifacts or any(path.glob("*.txt")):
+            return {"artifacts": artifacts}
+        raise StoreError(
+            f"{path} holds neither run directories nor .txt artifacts"
+        )
+    if path.suffix == ".json":
+        return {"bench_rows": ingest_bench_json(store, path)}
+    raise StoreError(
+        f"cannot ingest {path}: expected a run directory, an obs-runs base, "
+        "a BENCH_*.json file, or a results directory"
+    )

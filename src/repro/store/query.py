@@ -1,0 +1,353 @@
+"""Cross-run queries: list, show, diff, trend — with table/csv/json output.
+
+The rendering contract mirrors the store-opening CLI exemplar this layer
+grew from: every subcommand accepts ``--format table|csv|json``, the
+table form reuses :func:`repro.eval.report.format_table`, and the trend
+view adds a sparkline so a perf trajectory is legible in one terminal
+line per series.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import StoreError
+from .db import RunStore
+
+#: Eight-level bar glyphs for the trend sparkline.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One character per value, scaled to the series min/max."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_BLOCKS[3] * len(values)
+    span = hi - lo
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[min(top, int((v - lo) / span * top))] for v in values
+    )
+
+
+def render_rows(
+    rows: List[Dict[str, object]],
+    fmt: str = "table",
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Dict rows as an aligned table, CSV, or a JSON array."""
+    if fmt == "json":
+        return json.dumps(rows, indent=2, sort_keys=True)
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in cols})
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "table":
+        from ..eval.report import format_table
+
+        return format_table(rows, columns=cols)
+    raise StoreError(f"unknown output format {fmt!r}; choose table, csv, or json")
+
+
+# ----------------------------------------------------------------------
+# list
+# ----------------------------------------------------------------------
+
+RUN_COLUMNS = (
+    "id",
+    "name",
+    "config_hash",
+    "seed",
+    "git_sha",
+    "source",
+    "started_at",
+    "duration_s",
+    "hostname",
+)
+
+BENCH_COLUMNS = (
+    "id",
+    "bench_file",
+    "name",
+    "wall_s",
+    "cases",
+    "sp_computations",
+    "git_sha",
+    "config_hash",
+)
+
+
+def list_rows(
+    store: RunStore,
+    kind: str = "runs",
+    benchmark: Optional[str] = None,
+    scheme: Optional[str] = None,
+    topology: Optional[str] = None,
+    config_hash: Optional[str] = None,
+) -> Tuple[List[Dict[str, object]], Sequence[str]]:
+    """Filtered rows plus their display columns for ``repro query list``."""
+    if kind == "runs":
+        rows = store.runs(
+            name=benchmark,
+            config_hash=config_hash,
+            topology=topology,
+            scheme=scheme,
+        )
+        return rows, RUN_COLUMNS
+    if kind == "bench":
+        rows = store.bench_rows(name=benchmark, scheme=scheme)
+        if config_hash:
+            rows = [r for r in rows if r.get("config_hash") == config_hash]
+        if topology:
+            rows = [
+                r
+                for r in rows
+                if topology == r["payload"].get("topology")  # type: ignore[union-attr]
+            ]
+        return rows, BENCH_COLUMNS
+    if kind == "artifacts":
+        return store.artifacts(), ("id", "name", "sha256", "n_bytes", "source_path")
+    raise StoreError(f"unknown list kind {kind!r}; choose runs, bench, or artifacts")
+
+
+# ----------------------------------------------------------------------
+# show
+# ----------------------------------------------------------------------
+
+
+def show_doc(store: RunStore, ref: str) -> Dict[str, object]:
+    """Resolve ``ref`` to a run document or a bench entry payload.
+
+    Resolution order: run id → run config hash → run name (latest) →
+    bench entry name (latest version).  Run documents come back shaped
+    exactly like :func:`repro.obs.load_run` — the lossless round-trip
+    the ingest tests pin.
+    """
+    run_id = store.resolve_run(ref)
+    if run_id is not None:
+        return store.run_doc(run_id)
+    bench = store.latest_bench_row(ref)
+    if bench is not None:
+        return {"bench": {bench["name"]: bench["payload"]}}
+    raise StoreError(
+        f"nothing in the store matches {ref!r} "
+        "(not a run id, config hash, run name, or bench name)"
+    )
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+
+
+def diff_runs(store: RunStore, ref_a: str, ref_b: str) -> Dict[str, object]:
+    """Structured comparison of two runs' provenance, counters, spans."""
+    ids = []
+    for ref in (ref_a, ref_b):
+        run_id = store.resolve_run(ref)
+        if run_id is None:
+            raise StoreError(f"no run in the store matches {ref!r}")
+        ids.append(run_id)
+    docs = [store.run_doc(i, events=False) for i in ids]
+    manifests = [d["manifest"] for d in docs]  # type: ignore[index]
+
+    provenance = {}
+    for key in ("name", "config_hash", "seed", "git_sha", "python", "duration_s"):
+        a, b = manifests[0].get(key), manifests[1].get(key)  # type: ignore[union-attr]
+        if a != b:
+            provenance[key] = {"a": a, "b": b}
+
+    counters = {}
+    c_a = docs[0]["metrics"].get("counters", {})  # type: ignore[union-attr]
+    c_b = docs[1]["metrics"].get("counters", {})  # type: ignore[union-attr]
+    for key in sorted(set(c_a) | set(c_b)):
+        va, vb = c_a.get(key), c_b.get(key)
+        if va != vb:
+            entry: Dict[str, object] = {"a": va, "b": vb}
+            if va is not None and vb is not None:
+                entry["delta"] = vb - va
+            counters[key] = entry
+
+    spans = {}
+    s_a = docs[0]["span_aggregates"]  # type: ignore[index]
+    s_b = docs[1]["span_aggregates"]  # type: ignore[index]
+    for path in sorted(set(s_a) | set(s_b)):
+        ta = s_a.get(path, {}).get("total_s")
+        tb = s_b.get(path, {}).get("total_s")
+        if ta == tb:
+            continue
+        entry = {"a_total_s": ta, "b_total_s": tb}
+        if ta and tb is not None:
+            entry["change_pct"] = round(100.0 * (tb - ta) / ta, 2)
+        spans[path] = entry
+
+    return {
+        "a": {"id": ids[0], "name": manifests[0].get("name")},  # type: ignore[union-attr]
+        "b": {"id": ids[1], "name": manifests[1].get("name")},  # type: ignore[union-attr]
+        "provenance": provenance,
+        "counters": counters,
+        "spans": spans,
+    }
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Terminal view of :func:`diff_runs`."""
+    lines = [
+        f"diff run {diff['a']['id']} ({diff['a']['name']}) "  # type: ignore[index]
+        f"-> run {diff['b']['id']} ({diff['b']['name']})"  # type: ignore[index]
+    ]
+    for section in ("provenance", "counters"):
+        entries: Dict[str, dict] = diff[section]  # type: ignore[assignment]
+        if entries:
+            lines.append(f"{section}:")
+            for key, entry in entries.items():
+                delta = entry.get("delta")
+                suffix = f"  (delta {delta:+g})" if isinstance(delta, (int, float)) else ""
+                lines.append(f"  {key:44s} {entry['a']} -> {entry['b']}{suffix}")
+    spans: Dict[str, dict] = diff["spans"]  # type: ignore[assignment]
+    if spans:
+        lines.append("spans (total_s):")
+        for path, entry in spans.items():
+            pct = entry.get("change_pct")
+            suffix = f"  ({pct:+.1f}%)" if isinstance(pct, (int, float)) else ""
+            lines.append(
+                f"  {path:44s} {entry['a_total_s']} -> {entry['b_total_s']}{suffix}"
+            )
+    if len(lines) == 1:
+        lines.append("(no differences)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trend
+# ----------------------------------------------------------------------
+
+
+def lookup_metric(payload: Dict[str, object], metric: str) -> Optional[float]:
+    """A dotted metric path inside one bench payload.
+
+    ``span_ms.eval.sweep`` first tries the full key, then peels prefixes
+    (``span_ms`` → ``{"eval.sweep": ...}``), so both flat and nested
+    spellings resolve.
+    """
+    if metric in payload:
+        value = payload[metric]
+        return float(value) if isinstance(value, (int, float)) else None
+    head, sep, tail = metric.partition(".")
+    if sep and isinstance(payload.get(head), dict):
+        return lookup_metric(payload[head], tail)  # type: ignore[arg-type]
+    return None
+
+
+def trend_series(
+    store: RunStore,
+    metric: str,
+    benchmark: Optional[str] = None,
+    run_name: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Per-config time series of one metric, oldest to newest.
+
+    Bench mode (``benchmark``): every stored version of entries matching
+    the name, the metric resolved from the payload.  Run mode
+    (``run_name``): every stored run with that name, the metric resolved
+    from normalized counter/gauge/quantile rows.
+    """
+    series: Dict[Tuple[str, str], Dict[str, object]] = {}
+    if benchmark is not None:
+        for row in store.bench_rows(name=benchmark):
+            value = lookup_metric(row["payload"], metric)  # type: ignore[arg-type]
+            if value is None:
+                continue
+            key = (str(row["name"]), str(row.get("config_hash") or "-"))
+            bucket = series.setdefault(
+                key,
+                {
+                    "series": row["name"],
+                    "config_hash": key[1],
+                    "metric": metric,
+                    "values": [],
+                    "ids": [],
+                },
+            )
+            bucket["values"].append(value)  # type: ignore[union-attr]
+            bucket["ids"].append(row["id"])  # type: ignore[union-attr]
+    elif run_name is not None:
+        for run in store.runs(name=run_name):
+            run_id = int(run["id"])  # type: ignore[arg-type]
+            value = None
+            for metric_row in store.run_metrics(run_id):
+                if metric_row["name"] == metric:
+                    value = float(metric_row["value"])  # type: ignore[arg-type]
+                    break
+            if value is None:
+                continue
+            key = (str(run["name"]), str(run["config_hash"]))
+            bucket = series.setdefault(
+                key,
+                {
+                    "series": run["name"],
+                    "config_hash": key[1],
+                    "metric": metric,
+                    "values": [],
+                    "ids": [],
+                },
+            )
+            bucket["values"].append(value)  # type: ignore[union-attr]
+            bucket["ids"].append(run_id)  # type: ignore[union-attr]
+    else:
+        raise StoreError("trend needs --benchmark NAME or --run NAME")
+    return [series[key] for key in sorted(series)]
+
+
+def render_trend(series: List[Dict[str, object]], fmt: str = "table") -> str:
+    """Trend series as sparkline rows, CSV points, or JSON."""
+    if fmt not in ("table", "csv", "json"):
+        raise StoreError(
+            f"unknown output format {fmt!r}; choose table, csv, or json"
+        )
+    if fmt == "json":
+        return json.dumps(series, indent=2, sort_keys=True)
+    if fmt == "csv":
+        rows = [
+            {
+                "series": s["series"],
+                "config_hash": s["config_hash"],
+                "metric": s["metric"],
+                "row_id": row_id,
+                "value": value,
+            }
+            for s in series
+            for row_id, value in zip(s["ids"], s["values"])  # type: ignore[arg-type]
+        ]
+        return render_rows(
+            rows, "csv", columns=("series", "config_hash", "metric", "row_id", "value")
+        )
+    if not series:
+        return "(no data points)"
+    rows = []
+    for s in series:
+        values: List[float] = s["values"]  # type: ignore[assignment]
+        rows.append(
+            {
+                "series": s["series"],
+                "config_hash": s["config_hash"],
+                "n": len(values),
+                "first": values[0],
+                "last": values[-1],
+                "min": min(values),
+                "max": max(values),
+                "trend": sparkline(values),
+            }
+        )
+    return render_rows(rows, "table")

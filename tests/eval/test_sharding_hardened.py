@@ -104,3 +104,40 @@ class TestBoundedRetries:
     def test_max_attempts_validated(self):
         with pytest.raises(ValueError, match="max_attempts"):
             run_sharded([], span_name="test.shard", workers=1, max_attempts=0)
+
+
+class TestShardDurationHistogram:
+    def test_every_shard_observes_its_duration(self):
+        from repro.eval.sharding import SHARD_SECONDS_HISTOGRAM
+
+        tasks = [(k, _ok, (k,)) for k in range(3)]
+        with obs.temporarily_enabled():
+            obs.reset()
+            results = run_sharded(tasks, span_name="test.shard", workers=2)
+            histograms = obs.snapshot()["metrics"]["histograms"]
+        assert results == _expected([0, 1, 2])
+        assert histograms[SHARD_SECONDS_HISTOGRAM]["count"] == 3
+
+    def test_parent_serial_fallback_also_observes(self):
+        from repro.eval.sharding import SHARD_SECONDS_HISTOGRAM
+
+        tasks = [(0, _fail_outside_pid, (os.getpid(), 0))]
+        with obs.temporarily_enabled():
+            obs.reset()
+            results = run_sharded(
+                tasks,
+                span_name="test.shard",
+                workers=1,
+                max_attempts=1,
+                backoff_s=0.0,
+            )
+            histograms = obs.snapshot()["metrics"]["histograms"]
+        assert results == _expected([0])
+        assert histograms[SHARD_SECONDS_HISTOGRAM]["count"] == 1
+
+    def test_disabled_obs_records_nothing(self):
+        tasks = [(0, _ok, (0,))]
+        assert not obs.enabled()
+        obs.reset()
+        run_sharded(tasks, span_name="test.shard", workers=1)
+        assert obs.snapshot()["metrics"]["histograms"] == {}

@@ -7,10 +7,12 @@ from repro.obs import (
     RunManifest,
     Tracer,
     config_hash,
+    iso_utc,
     latest_run_dir,
     load_run,
     render_prometheus,
     render_report,
+    run_report_doc,
     write_run_artifacts,
 )
 
@@ -46,6 +48,31 @@ class TestRunManifest:
 
     def test_empty_config_hashes_like_empty_dict(self):
         assert RunManifest(name="x").config_hash == config_hash({})
+
+    def test_wall_clock_fields_are_stamped(self):
+        manifest = RunManifest(name="t", config={"n": 1})
+        doc = manifest.as_dict()
+        assert doc["started_at"] == iso_utc(manifest.started_unix)
+        assert doc["started_at"].endswith("+00:00")
+        assert doc["hostname"]
+        assert "finished_at" not in doc
+        manifest.finish(now=manifest.started_unix + 2.5)
+        doc = manifest.as_dict()
+        assert doc["finished_at"] == iso_utc(manifest.started_unix + 2.5)
+        assert doc["duration_s"] == 2.5
+
+    def test_finish_is_idempotent(self):
+        manifest = RunManifest(name="t")
+        manifest.finish(now=manifest.started_unix + 1.0)
+        manifest.finish(now=manifest.started_unix + 99.0)
+        assert manifest.finished_unix == manifest.started_unix + 1.0
+
+    def test_wall_clock_fields_do_not_move_config_hash(self):
+        a = RunManifest(name="t", config={"n": 1}, started_unix=1.0)
+        b = RunManifest(name="t", config={"n": 1}, started_unix=2.0)
+        b.hostname = "elsewhere"
+        b.finish(now=50.0)
+        assert a.config_hash == b.config_hash
 
 
 class TestPrometheus:
@@ -118,6 +145,18 @@ class TestArtifacts:
         os.utime(newest / "manifest.json", (time.time() + 10, time.time() + 10))
         assert latest_run_dir(tmp_path) == newest
 
+    def test_latest_run_dir_mtime_ties_break_by_name(self, tmp_path):
+        import os
+
+        first = self._write_run(tmp_path, name="aaa", seed=1)
+        second = self._write_run(tmp_path, name="zzz", seed=2)
+        # Same timestamp granule: the lexicographically larger name wins,
+        # deterministically, instead of depending on directory order.
+        stamp = (1_700_000_000, 1_700_000_000)
+        os.utime(first / "manifest.json", stamp)
+        os.utime(second / "manifest.json", stamp)
+        assert latest_run_dir(tmp_path) == second
+
     def test_render_report_contains_spans_and_counters(self, tmp_path):
         run = load_run(self._write_run(tmp_path))
         text = render_report(run)
@@ -125,3 +164,68 @@ class TestArtifacts:
         assert "sweep" in text
         assert "dijkstra" in text
         assert "eval.cases" in text
+
+    def test_render_report_shows_histogram_quantiles(self, tmp_path):
+        reg = MetricsRegistry()
+        for value in (0.01, 0.02, 0.5):
+            reg.observe("dijkstra.seconds", value)
+        manifest = RunManifest(name="q", config={})
+        directory = write_run_artifacts(
+            tmp_path / "q", manifest.as_dict(), reg.snapshot(), {}, []
+        )
+        text = render_report(load_run(directory))
+        assert "histogram quantiles" in text
+        assert "dijkstra.seconds" in text
+        assert "p99" in text
+
+    def test_run_report_doc_is_json_and_has_quantiles(self, tmp_path):
+        run = load_run(self._write_run(tmp_path))
+        reg = MetricsRegistry()
+        reg.observe("h", 0.05)
+        run["metrics"] = reg.snapshot()
+        doc = json.loads(json.dumps(run_report_doc(run)))
+        assert doc["manifest"]["name"] == "demo"
+        assert doc["events_count"] == 2
+        assert set(doc["quantiles"]["h"]) == {"p50", "p95", "p99"}
+        assert doc["quantiles"]["h"]["p50"] is not None
+
+
+class TestStoreAutoRecord:
+    def test_write_run_artifacts_records_into_store(self, tmp_path, monkeypatch):
+        from repro.store import RunStore
+
+        store_path = tmp_path / "store.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(store_path))
+        reg = MetricsRegistry()
+        reg.inc("eval.cases", 3)
+        manifest = RunManifest(name="auto", seed=9, config={"k": 1})
+        directory = tmp_path / "runs" / f"auto-{manifest.config_hash}"
+        write_run_artifacts(
+            directory, manifest.as_dict(), reg.snapshot(), {}, []
+        )
+        with RunStore(store_path) as store:
+            runs = store.runs(name="auto")
+            assert len(runs) == 1
+            assert runs[0]["source"] == "live"
+            assert runs[0]["run_dir"] == str(directory)
+            doc = store.run_doc(int(runs[0]["id"]))
+        assert doc == load_run(directory)
+
+    def test_broken_store_never_breaks_the_run(self, tmp_path, monkeypatch):
+        # A directory is not a valid sqlite target; artifacts must still land.
+        bad = tmp_path / "not-a-store"
+        bad.mkdir()
+        monkeypatch.setenv("REPRO_STORE", str(bad))
+        manifest = RunManifest(name="hardy", config={})
+        directory = write_run_artifacts(
+            tmp_path / "r", manifest.as_dict(), {"counters": {}}, {}, []
+        )
+        assert (directory / "manifest.json").exists()
+
+    def test_unset_env_means_no_store(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        manifest = RunManifest(name="plain", config={})
+        write_run_artifacts(
+            tmp_path / "r", manifest.as_dict(), {"counters": {}}, {}, []
+        )
+        assert not list(tmp_path.glob("*.sqlite"))

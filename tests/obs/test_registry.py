@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs import DEFAULT_EDGES, Histogram, MetricsRegistry
+from repro.obs import (
+    DEFAULT_EDGES,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+    histogram_quantiles,
+)
 
 
 class TestHistogram:
@@ -30,6 +36,56 @@ class TestHistogram:
         hist = Histogram()
         assert hist.edges == DEFAULT_EDGES
         assert len(hist.counts) == len(DEFAULT_EDGES) + 1
+
+
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram((0.1, 1.0))
+        assert hist.quantile(0.5) is None
+        assert all(v is None for v in hist.quantiles().values())
+
+    def test_single_bucket_interpolates_from_zero(self):
+        # 10 observations all in (0, 0.1]: p50 interpolates the bucket.
+        hist = Histogram((0.1, 1.0))
+        for _ in range(10):
+            hist.observe(0.05)
+        assert hist.quantile(0.5) == pytest.approx(0.05)
+        assert hist.quantile(1.0) == pytest.approx(0.1)
+
+    def test_spread_population(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        # rank 2 of 4 interpolates halfway into the (1, 2] bucket.
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        hist = Histogram((0.1, 1.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == pytest.approx(1.0)
+
+    def test_bucket_quantile_validates_q(self):
+        with pytest.raises(ValueError):
+            bucket_quantile([0.1], [1, 0], 1, -0.5)
+        with pytest.raises(ValueError):
+            bucket_quantile([0.1], [1, 0], 1, 1.5)
+
+    def test_histogram_quantiles_snapshot_shape(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 1.7):
+            hist.observe(value)
+        q = histogram_quantiles(hist.as_dict())
+        assert set(q) == {"p50", "p95", "p99"}
+        assert q["p50"] == pytest.approx(1.25)
+        assert q["p99"] <= 2.0
+
+    def test_quantiles_are_monotone(self):
+        hist = Histogram()
+        for i in range(100):
+            hist.observe(0.0001 * (i + 1) * 17 % 5)
+        q50, q95, q99 = (hist.quantile(x) for x in (0.5, 0.95, 0.99))
+        assert q50 <= q95 <= q99
 
 
 class TestRegistry:

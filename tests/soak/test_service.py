@@ -156,3 +156,35 @@ class TestInterruption:
         status, summary = resumed.run()
         assert status == "completed"
         assert summary == reference
+
+
+class TestStoreMirroring:
+    def test_completed_run_lands_in_the_store(self, tmp_path, monkeypatch):
+        from repro.store import RunStore
+
+        store_path = tmp_path / "store.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(store_path))
+        service = SoakService.start(_config(), tmp_path / "run")
+        status, summary = service.run()
+        assert status == "completed"
+        with RunStore(store_path) as store:
+            runs = store.runs(name=f"soak-{service.config_hash}")
+            assert len(runs) == 1
+            assert runs[0]["finished_at"] is not None
+            run_id = int(runs[0]["id"])
+            windows = store.windows(run_id)
+            doc = store.run_doc(run_id)
+        assert len(windows) == len(service.windows)
+        assert set(windows[0]["payload"]["records"]) == set(
+            service.config.approaches
+        )
+        assert doc["manifest"]["summary"] == summary
+
+    def test_unusable_store_does_not_break_the_soak(self, tmp_path, monkeypatch):
+        bad = tmp_path / "not-a-store"
+        bad.mkdir()
+        monkeypatch.setenv("REPRO_STORE", str(bad))
+        service = SoakService.start(_config(), tmp_path / "run")
+        status, summary = service.run()
+        assert status == "completed"
+        assert summary is not None

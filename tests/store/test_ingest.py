@@ -1,0 +1,143 @@
+"""Tests for repro.store.ingest (filesystem importers + sniffing)."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.obs import load_run, write_run_artifacts
+from repro.store import (
+    RunStore,
+    ingest_bench_json,
+    ingest_path,
+    ingest_results_dir,
+    ingest_run_dir,
+    ingest_runs_base,
+    looks_like_bench_json,
+)
+
+from .test_db import make_run
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(tmp_path / "store.sqlite") as s:
+        yield s
+
+
+def write_run_dir(base, name="demo", seed=1):
+    manifest, metrics, spans, events = make_run(name=name, seed=seed)
+    directory = base / f"{name}-{manifest['config_hash']}"
+    return write_run_artifacts(directory, manifest, metrics, spans, events)
+
+
+class TestRunIngest:
+    def test_round_trips_losslessly(self, store, tmp_path):
+        directory = write_run_dir(tmp_path)
+        run_id = ingest_run_dir(store, directory)
+        assert store.run_doc(run_id) == load_run(directory)
+        assert store.runs()[0]["source"] == "ingest"
+
+    def test_reingest_is_idempotent(self, store, tmp_path):
+        directory = write_run_dir(tmp_path)
+        assert ingest_run_dir(store, directory) == ingest_run_dir(store, directory)
+        assert store.counts()["runs"] == 1
+
+    def test_not_a_run_dir_raises(self, store, tmp_path):
+        with pytest.raises(StoreError, match="no manifest.json"):
+            ingest_run_dir(store, tmp_path)
+
+    def test_runs_base_imports_children(self, store, tmp_path):
+        base = tmp_path / "obs-runs"
+        write_run_dir(base, seed=1)
+        write_run_dir(base, seed=2)
+        (base / "not-a-run").mkdir()
+        assert ingest_runs_base(store, base) == 2
+        assert store.counts()["runs"] == 2
+
+
+class TestBenchIngest:
+    DOC = {
+        "bench_a": {"wall_s": 1.0, "cases": 10, "sp_computations": 4},
+        "bench_b": {"wall_s": 2.0, "cases": 10},
+    }
+
+    def test_shape_sniffing(self):
+        assert looks_like_bench_json(self.DOC)
+        assert not looks_like_bench_json({})
+        assert not looks_like_bench_json({"a": 1})
+        assert not looks_like_bench_json({"a": {"other": 1}})
+        assert not looks_like_bench_json([self.DOC])
+
+    def test_ingest_and_reingest(self, store, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(self.DOC))
+        assert ingest_bench_json(store, path) == 2
+        assert ingest_bench_json(store, path) == 0
+        assert store.bench_file_doc("BENCH_x.json") == self.DOC
+
+    def test_changed_entry_extends_trajectory(self, store, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(self.DOC))
+        ingest_bench_json(store, path)
+        changed = dict(self.DOC)
+        changed["bench_a"] = dict(self.DOC["bench_a"], wall_s=9.0)
+        path.write_text(json.dumps(changed))
+        assert ingest_bench_json(store, path) == 1
+        assert [r["wall_s"] for r in store.bench_rows(name="bench_a")] == [1.0, 9.0]
+
+    def test_malformed_json_raises(self, store, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(StoreError, match="unreadable bench file"):
+            ingest_bench_json(store, path)
+
+    def test_wrong_shape_raises(self, store, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(StoreError, match="does not look like"):
+            ingest_bench_json(store, path)
+
+
+class TestResultsIngest:
+    def test_txt_files_become_artifacts(self, store, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table3.txt").write_text("the table")
+        (results / "fig8.txt").write_text("the figure")
+        (results / "ignored.svg").write_text("<svg/>")
+        assert ingest_results_dir(store, results) == 2
+        assert ingest_results_dir(store, results) == 0
+        assert {a["name"] for a in store.artifacts()} == {"fig8.txt", "table3.txt"}
+
+
+class TestIngestPathDispatch:
+    def test_dispatches_run_dir(self, store, tmp_path):
+        directory = write_run_dir(tmp_path)
+        assert ingest_path(store, directory) == {"runs": 1}
+
+    def test_dispatches_runs_base(self, store, tmp_path):
+        base = tmp_path / "obs-runs"
+        write_run_dir(base)
+        assert ingest_path(store, base) == {"runs": 1}
+
+    def test_dispatches_bench_json(self, store, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(TestBenchIngest.DOC))
+        assert ingest_path(store, path) == {"bench_rows": 2}
+
+    def test_dispatches_results_dir(self, store, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "t.txt").write_text("x")
+        assert ingest_path(store, results) == {"artifacts": 1}
+
+    def test_unrecognized_inputs_raise(self, store, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(StoreError):
+            ingest_path(store, empty)
+        other = tmp_path / "notes.txt"
+        other.write_text("hi")
+        with pytest.raises(StoreError):
+            ingest_path(store, other)

@@ -1,0 +1,291 @@
+"""Tests for repro.store.query / repro.store.regress and the query CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import StoreError
+from repro.obs import load_run
+from repro.store import (
+    DEFAULT_THRESHOLDS,
+    RunStore,
+    diff_runs,
+    ingest_bench_json,
+    lookup_metric,
+    parse_threshold_overrides,
+    render_trend,
+    run_regress,
+    show_doc,
+    sparkline,
+    summary_line,
+    trend_series,
+)
+
+from .test_db import make_run
+from .test_ingest import write_run_dir
+
+BENCH_DOC = {
+    "tiny_bench": {
+        "wall_s": 1.0,
+        "cases": 10,
+        "sp_computations": 100,
+        "span_ms": {"eval.sweep": 50.0},
+        "demand_recovery_rate_pct": 90.0,
+    }
+}
+
+
+@pytest.fixture
+def bench_path(tmp_path):
+    path = tmp_path / "BENCH_tiny.json"
+    path.write_text(json.dumps(BENCH_DOC, indent=2, sort_keys=True))
+    return path
+
+
+@pytest.fixture
+def store_path(tmp_path, bench_path):
+    path = tmp_path / "store.sqlite"
+    with RunStore(path) as store:
+        ingest_bench_json(store, bench_path)
+    return path
+
+
+class TestSparkline:
+    def test_scales_to_min_max(self):
+        line = sparkline([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series_and_empty(self):
+        assert sparkline([5.0, 5.0]) == "▄▄"
+        assert sparkline([]) == ""
+
+
+class TestLookupMetric:
+    def test_flat_nested_and_missing(self):
+        payload = {"wall_s": 1.5, "span_ms": {"eval.sweep": 7.0}}
+        assert lookup_metric(payload, "wall_s") == 1.5
+        assert lookup_metric(payload, "span_ms.eval.sweep") == 7.0
+        assert lookup_metric(payload, "nope") is None
+        assert lookup_metric({"wall_s": "text"}, "wall_s") is None
+
+
+class TestShowAndDiff:
+    def test_show_resolves_runs_then_bench_names(self, tmp_path, store_path):
+        directory = write_run_dir(tmp_path)
+        with RunStore(store_path) as store:
+            from repro.store import ingest_run_dir
+
+            ingest_run_dir(store, directory)
+            assert show_doc(store, "demo") == load_run(directory)
+            bench = show_doc(store, "tiny_bench")
+            assert bench == {"bench": BENCH_DOC}
+            with pytest.raises(StoreError, match="nothing in the store"):
+                show_doc(store, "missing")
+
+    def test_diff_reports_counter_and_span_deltas(self, store_path):
+        with RunStore(store_path) as store:
+            for seed in (1, 2):
+                manifest, metrics, spans, events = make_run(seed=seed)
+                store.record_run(manifest, metrics, spans, events)
+            diff = diff_runs(store, "1", "2")
+        assert diff["provenance"]["config_hash"]["a"] != (
+            diff["provenance"]["config_hash"]["b"]
+        )
+        # Identical registries diff empty on counters.
+        assert diff["counters"] == {}
+
+    def test_diff_unknown_ref_raises(self, store_path):
+        with RunStore(store_path) as store:
+            with pytest.raises(StoreError, match="no run in the store"):
+                diff_runs(store, "1", "2")
+
+
+class TestTrend:
+    def test_bench_trajectory_series(self, store_path, bench_path):
+        changed = json.loads(bench_path.read_text())
+        changed["tiny_bench"]["wall_s"] = 2.0
+        bench_path.write_text(json.dumps(changed))
+        with RunStore(store_path) as store:
+            ingest_bench_json(store, bench_path)
+            series = trend_series(store, "wall_s", benchmark="tiny_bench")
+        assert len(series) == 1
+        assert series[0]["values"] == [1.0, 2.0]
+        table = render_trend(series)
+        assert "tiny_bench" in table and "▁█" in table
+
+    def test_nested_metric_and_formats(self, store_path):
+        with RunStore(store_path) as store:
+            series = trend_series(store, "span_ms.eval.sweep", benchmark="tiny_bench")
+            assert series[0]["values"] == [50.0]
+            csv_out = render_trend(series, fmt="csv")
+            assert "span_ms.eval.sweep" in csv_out
+            json.loads(render_trend(series, fmt="json"))
+            with pytest.raises(StoreError):
+                render_trend(series, fmt="xml")
+
+    def test_requires_a_scope(self, store_path):
+        with RunStore(store_path) as store:
+            with pytest.raises(StoreError, match="trend needs"):
+                trend_series(store, "wall_s")
+
+
+class TestRegress:
+    def test_clean_baseline_exits_zero(self, store_path, bench_path):
+        with RunStore(store_path) as store:
+            verdicts, code = run_regress(store, [bench_path])
+        assert code == 0
+        assert all(v.status == "ok" for v in verdicts)
+        # Ungated payload fields (bigger-is-better rates) never appear.
+        assert all("demand_recovery" not in v.metric for v in verdicts)
+
+    def test_slowdown_exits_nonzero_with_verdict_lines(self, store_path, bench_path):
+        slowed = json.loads(bench_path.read_text())
+        slowed["tiny_bench"]["span_ms"]["eval.sweep"] = 100.0
+        with RunStore(store_path) as store:
+            store.record_bench_rows(bench_path.name, slowed)
+            verdicts, code = run_regress(store, [bench_path])
+        assert code == 1
+        regs = [v for v in verdicts if v.status == "REG"]
+        assert [v.metric for v in regs] == ["span_ms.eval.sweep"]
+        line = regs[0].line()
+        assert line.startswith("REG") and "+100.0%" in line and ">" in line
+        assert "1 regressed" in summary_line(verdicts)
+
+    def test_sp_computations_gates_any_increase(self, store_path, bench_path):
+        bumped = json.loads(bench_path.read_text())
+        bumped["tiny_bench"]["sp_computations"] = 101
+        with RunStore(store_path) as store:
+            store.record_bench_rows(bench_path.name, bumped)
+            verdicts, code = run_regress(store, [bench_path])
+        assert code == 1
+        assert any(
+            v.metric == "sp_computations" and v.status == "REG" for v in verdicts
+        )
+
+    def test_threshold_overrides(self, store_path, bench_path):
+        slowed = json.loads(bench_path.read_text())
+        slowed["tiny_bench"]["wall_s"] = 1.2  # +20%: inside the default 30%
+        with RunStore(store_path) as store:
+            store.record_bench_rows(bench_path.name, slowed)
+            _, default_code = run_regress(store, [bench_path])
+            _, tight_code = run_regress(
+                store, [bench_path], thresholds={"wall_s": 0.1}
+            )
+        assert default_code == 0
+        assert tight_code == 1
+
+    def test_missing_row_skips_unless_strict(self, tmp_path, store_path):
+        other = tmp_path / "BENCH_other.json"
+        other.write_text(json.dumps({"unknown_bench": {"wall_s": 1.0, "cases": 1}}))
+        with RunStore(store_path) as store:
+            verdicts, code = run_regress(store, [other])
+            assert code == 0
+            assert verdicts[0].status == "skip"
+            _, strict_code = run_regress(store, [other], strict=True)
+        assert strict_code == 1
+
+    def test_parse_threshold_overrides(self):
+        assert parse_threshold_overrides(["wall_s=0.5"]) == {"wall_s": 0.5}
+        for bad in ("wall_s", "=0.5", "wall_s=abc", "wall_s=-1"):
+            with pytest.raises(StoreError):
+                parse_threshold_overrides([bad])
+
+    def test_default_thresholds_cover_the_gated_families(self):
+        assert set(DEFAULT_THRESHOLDS) == {
+            "wall_s",
+            "build_s",
+            "span_ms",
+            "sp_computations",
+        }
+
+
+class TestQueryCli:
+    def _store_with_everything(self, tmp_path, bench_path):
+        store_path = tmp_path / "cli-store.sqlite"
+        directory = write_run_dir(tmp_path)
+        with RunStore(store_path) as store:
+            from repro.store import ingest_run_dir
+
+            ingest_run_dir(store, directory)
+            ingest_bench_json(store, bench_path)
+        return store_path, directory
+
+    def test_ingest_then_list_show_trend(self, tmp_path, bench_path, capsys):
+        store_path = tmp_path / "s.sqlite"
+        directory = write_run_dir(tmp_path)
+        code = main(
+            ["query", "--store", str(store_path), "ingest", str(directory), str(bench_path)]
+        )
+        assert code == 0
+        assert "1 runs" in capsys.readouterr().out
+
+        assert main(["query", "--store", str(store_path), "list"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+        assert main(["query", "--store", str(store_path), "show", "demo"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == load_run(directory)
+
+        assert (
+            main(
+                [
+                    "query",
+                    "--store",
+                    str(store_path),
+                    "trend",
+                    "wall_s",
+                    "--benchmark",
+                    "tiny_bench",
+                ]
+            )
+            == 0
+        )
+        assert "tiny_bench" in capsys.readouterr().out
+
+    def test_missing_store_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["query", "--store", str(tmp_path / "nope.sqlite"), "list"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_show_without_ref_is_a_usage_error(self, tmp_path, bench_path, capsys):
+        store_path, _ = self._store_with_everything(tmp_path, bench_path)
+        assert main(["query", "--store", str(store_path), "show"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_regress_exit_codes_through_the_cli(self, tmp_path, bench_path, capsys):
+        store_path, _ = self._store_with_everything(tmp_path, bench_path)
+        argv = [
+            "query",
+            "--store",
+            str(store_path),
+            "regress",
+            "--baseline",
+            str(bench_path),
+        ]
+        assert main(argv) == 0
+        assert "regress:" in capsys.readouterr().out
+
+        slowed = json.loads(bench_path.read_text())
+        slowed["tiny_bench"]["span_ms"]["eval.sweep"] = 200.0
+        # Same filename in another directory: the slowed payload lands as
+        # the latest version on the same bench_file trajectory.
+        slow_dir = tmp_path / "slowed"
+        slow_dir.mkdir()
+        slow_file = slow_dir / bench_path.name
+        slow_file.write_text(json.dumps(slowed))
+        assert (
+            main(["query", "--store", str(store_path), "ingest", str(slow_file)]) == 0
+        )
+        capsys.readouterr()
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "REG" in out and "span_ms.eval.sweep" in out
+
+    def test_obs_report_json_flag(self, tmp_path, capsys):
+        directory = write_run_dir(tmp_path)
+        assert main(["obs", "report", str(directory), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["manifest"]["name"] == "demo"
+        assert "quantiles" in doc
