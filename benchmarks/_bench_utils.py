@@ -6,6 +6,7 @@ import json
 import os
 import platform
 import subprocess
+import sys
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -139,4 +140,4 @@ def _mirror_to_store(bench_file: str, name: str, entry: dict) -> None:
         with RunStore(store_path) as store:
             store.record_bench_rows(bench_file, {name: entry})
     except Exception as exc:  # noqa: BLE001 — recording must not fail the bench
-        print(f"warning: REPRO_STORE={store_path}: {exc}")
+        print(f"warning: REPRO_STORE={store_path}: {exc}", file=sys.stderr)

@@ -1,8 +1,10 @@
 """CI proof of the run-store regression gate (``repro query regress``).
 
 Builds a throwaway store from the checked-in fixtures — every
-``benchmarks/BENCH_*.json`` plus the ``obs-runs/`` instrumented-run
-fixture — then asserts the two halves of the gate's contract:
+``benchmarks/BENCH_*.json`` plus the tracked instrumented-run fixture
+under ``tests/store/fixtures/obs-runs/`` (live ``obs-runs/`` dirs stay
+gitignored, so a fresh checkout always has this copy) — then asserts
+the two halves of the gate's contract:
 
 1. against the pinned baselines themselves, ``regress`` exits 0
    (every metric changed by exactly 0%);
@@ -23,6 +25,7 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+FIXTURE_RUNS = REPO / "tests" / "store" / "fixtures" / "obs-runs"
 
 
 def _cli(store: Path, *argv: str) -> subprocess.CompletedProcess:
@@ -52,7 +55,7 @@ def main() -> int:
 
         # -- ingest everything checked in -----------------------------
         ingest = _cli(
-            store, "ingest", "obs-runs", *[str(p) for p in baselines]
+            store, "ingest", str(FIXTURE_RUNS), *[str(p) for p in baselines]
         )
         _check(ingest.returncode == 0, "ingest fixtures", ingest.stderr)
 
@@ -62,9 +65,10 @@ def main() -> int:
 
         run_dirs = [
             d
-            for d in sorted((REPO / "obs-runs").iterdir())
+            for d in sorted(FIXTURE_RUNS.iterdir())
             if (d / "manifest.json").exists()
         ]
+        _check(len(run_dirs) >= 1, f"found {len(run_dirs)} fixture run dir(s)")
         show = _cli(store, "show", "1")
         _check(show.returncode == 0, "show run 1", show.stderr)
         stored = json.loads(show.stdout)

@@ -515,7 +515,7 @@ class RunStore:
         self, name: str, text: str, source_path: Optional[str] = None
     ) -> bool:
         """Store one text artifact content-addressed; True if new."""
-        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
         conn = self._conn
         conn.execute("BEGIN IMMEDIATE")
         try:

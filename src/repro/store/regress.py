@@ -18,6 +18,7 @@ ok/skip, nonzero when any metric regressed.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -70,8 +71,16 @@ def _fmt(value: Optional[float]) -> str:
 
 
 def _relative_change(baseline: Optional[float], latest: Optional[float]) -> float:
-    if not baseline or latest is None:
+    """Relative increase of ``latest`` over ``baseline``.
+
+    A zero baseline that grows to any positive value is an infinite
+    relative increase — it must trip every finite threshold (e.g.
+    ``sp_computations`` 0 -> 5000 under its 0% bar), not silently pass.
+    """
+    if baseline is None or latest is None:
         return 0.0
+    if baseline == 0:
+        return math.inf if latest > 0 else 0.0
     return (latest - baseline) / baseline
 
 

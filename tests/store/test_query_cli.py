@@ -21,6 +21,7 @@ from repro.store import (
     summary_line,
     trend_series,
 )
+from repro.store.regress import compare_entry
 
 from .test_db import make_run
 from .test_ingest import write_run_dir
@@ -152,6 +153,25 @@ class TestRegress:
         line = regs[0].line()
         assert line.startswith("REG") and "+100.0%" in line and ">" in line
         assert "1 regressed" in summary_line(verdicts)
+
+    def test_zero_baseline_growth_is_a_regression(self):
+        # 0 -> 5000 is an infinite relative increase; it must trip the
+        # 0% sp_computations bar rather than divide-by-zero to "ok".
+        verdicts = compare_entry(
+            "tiny_bench",
+            {"sp_computations": 0},
+            {"sp_computations": 5000},
+            DEFAULT_THRESHOLDS,
+        )
+        assert [v.status for v in verdicts] == ["REG"]
+        assert verdicts[0].line().startswith("REG")
+        zero_to_zero = compare_entry(
+            "tiny_bench",
+            {"sp_computations": 0},
+            {"sp_computations": 0},
+            DEFAULT_THRESHOLDS,
+        )
+        assert [v.status for v in zero_to_zero] == ["ok"]
 
     def test_sp_computations_gates_any_increase(self, store_path, bench_path):
         bumped = json.loads(bench_path.read_text())
