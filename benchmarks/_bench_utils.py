@@ -82,6 +82,7 @@ def record_bench(
     span_ms: Optional[Dict[str, float]] = None,
     path: Optional[Path] = None,
     extra: Optional[Dict[str, object]] = None,
+    write_file: bool = True,
     **extra_fields: object,
 ) -> dict:
     """Merge one benchmark measurement into a trajectory JSON.
@@ -90,6 +91,13 @@ def record_bench(
     trajectory file (the traffic bench keeps ``BENCH_traffic.json``) and
     ``extra`` — or any additional keyword — for bench-specific fields
     merged into the entry.
+
+    ``write_file=False`` records the measurement *only* to the
+    ``REPRO_STORE`` run store, leaving the checked-in trajectory file
+    untouched — the gate mode of the CI benches, where ``repro query
+    regress`` compares the stored measurement against the pinned
+    baseline (rewriting the baseline first would make that comparison
+    vacuous).
 
     When ``REPRO_STORE`` names a run-store path, the refreshed entry is
     also mirrored there (best-effort: the benchmark never fails because
@@ -124,7 +132,8 @@ def record_bench(
     if extra_fields:
         entry.update(extra_fields)
     data[name] = entry
-    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    if write_file:
+        target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     _mirror_to_store(target.name, name, entry)
     return data[name]
 

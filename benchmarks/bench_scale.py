@@ -10,12 +10,14 @@ Times three workloads on `scale:` topologies of growing size (1k / 10k /
 * **traffic-weighted Table III** (`scale:50000` only) — the end-to-end
   sweep: demand matrix, 1M flows, circular failures, RTR/FCP recovery.
 
-Asserted on every run (the ISSUE-level acceptance bars):
-
-* numpy and Python single-source trees are bit-identical at every size;
-* at 10,000 nodes the batched kernel is >= 3x faster per root than the
-  pure-Python reference;
-* the 50k traffic-weighted Table III finishes under 60 s single-process.
+Asserted on every run: numpy and Python single-source trees are
+bit-identical at every size (a correctness bar, not a perf one).  The
+former in-script speedup and wall-clock bars are retired — the perf gate
+is ``repro query regress``, run by CI against the checked-in trajectory
+after this bench records its measurements (to the ``REPRO_STORE`` run
+store in gate mode; into ``BENCH_scale.json`` itself with ``--update``).
+The measured batched-vs-python speedup is still printed and recorded on
+every row.
 
 Rows are merged into ``benchmarks/BENCH_scale.json`` keyed by
 ``workload@nodes``, each carrying the kernel backend, node/link counts,
@@ -23,7 +25,9 @@ and the ``config_hash`` of its parameters.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_scale.py
+    REPRO_STORE=scale.sqlite PYTHONPATH=src python benchmarks/bench_scale.py
+    PYTHONPATH=src python -m repro query --store scale.sqlite regress
+    PYTHONPATH=src python benchmarks/bench_scale.py --update  # rebaseline
     REPRO_SCALE_SIZES=1000,10000 PYTHONPATH=src python benchmarks/bench_scale.py
 """
 
@@ -57,12 +61,6 @@ SIZES = tuple(
 
 #: Roots per size for the per-tree timings (spread over the node range).
 N_ROOTS = 8
-
-#: Single-process bar for the 50k traffic-weighted Table III sweep.
-TRAFFIC_LIMIT_S = float(os.environ.get("REPRO_SCALE_TRAFFIC_LIMIT", "60"))
-
-#: Batched-vs-python per-root bar at 10k nodes.
-MIN_BATCHED_SPEEDUP = 3.0
 
 TRAFFIC_PINNED = dict(
     topologies=("scale:50000",),
@@ -102,7 +100,9 @@ def time_single_source(topo, roots, backend: str) -> tuple:
 def main(argv: list) -> int:
     failed = False
     lines = []
-    speedup_at_10k = None
+    # Gate mode records to the REPRO_STORE run store only; --update (or a
+    # missing trajectory) refreshes the checked-in BENCH_scale.json.
+    write = "--update" in argv or not BENCH_SCALE_JSON.exists()
 
     for n in SIZES:
         t0 = time.perf_counter()
@@ -125,6 +125,7 @@ def main(argv: list) -> int:
             config_hash=config_hash(dict(params, backend="python")),
             path=BENCH_SCALE_JSON,
             extra=dict(base_extra, kernel="python"),
+            write_file=write,
         )
 
         if numpy_available():
@@ -140,6 +141,7 @@ def main(argv: list) -> int:
                 config_hash=config_hash(dict(params, backend="numpy")),
                 path=BENCH_SCALE_JSON,
                 extra=dict(base_extra, kernel="numpy"),
+                write_file=write,
             )
 
             os.environ["REPRO_KERNEL"] = "numpy"
@@ -164,9 +166,8 @@ def main(argv: list) -> int:
                     kernel="numpy-batched",
                     speedup_vs_python=round(speedup, 2),
                 ),
+                write_file=write,
             )
-            if n == 10_000:
-                speedup_at_10k = speedup
             lines.append(
                 f"{n:>7} nodes  build {build_s:6.2f}s  "
                 f"python {wall_py / len(roots) * 1e3:8.2f} ms/root  "
@@ -180,13 +181,6 @@ def main(argv: list) -> int:
                 f"python {wall_py / len(roots) * 1e3:8.2f} ms/root  "
                 f"(numpy unavailable)"
             )
-
-    if speedup_at_10k is not None and speedup_at_10k < MIN_BATCHED_SPEEDUP:
-        print(
-            f"scale-bench: FAIL — batched speedup at 10k is "
-            f"{speedup_at_10k:.2f}x, below the {MIN_BATCHED_SPEEDUP:.0f}x bar"
-        )
-        failed = True
 
     if 50_000 in SIZES:
         from repro.eval.experiments import traffic_weighted_table3
@@ -212,6 +206,7 @@ def main(argv: list) -> int:
                 disrupted_flows=row["disrupted_flows"],
                 demand_recovery_rate_pct=row["demand_recovery_rate_pct"],
             ),
+            write_file=write,
         )
         lines.append(
             f"  50000 nodes  traffic-weighted Table III "
@@ -219,17 +214,12 @@ def main(argv: list) -> int:
             f"{TRAFFIC_PINNED['n_scenarios']} scenarios): {wall:.1f}s  "
             f"[{sp} SP computations]"
         )
-        if wall > TRAFFIC_LIMIT_S:
-            print(
-                f"scale-bench: FAIL — 50k traffic sweep took {wall:.1f}s, "
-                f"over the {TRAFFIC_LIMIT_S:.0f}s bar"
-            )
-            failed = True
 
     emit("bench_scale", "\n".join(lines))
     if failed:
         return 1
-    print(f"scale-bench: OK (trajectory: {BENCH_SCALE_JSON.name})")
+    mode = "trajectory refreshed" if write else "gate with: repro query regress"
+    print(f"scale-bench: OK ({BENCH_SCALE_JSON.name}; {mode})")
     return 0
 
 

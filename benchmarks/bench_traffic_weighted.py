@@ -14,12 +14,15 @@ Also asserted on every run:
 * RTR's weighted recovery equals its weighted optimal rate (Theorem 2
   survives demand weighting).
 
-The measurement is merged into ``benchmarks/BENCH_traffic.json`` (the
-traffic perf trajectory, uploaded by CI next to ``BENCH_core.json``).
+The measurement is recorded to the ``REPRO_STORE`` run store in gate
+mode (where ``repro query regress`` compares it against the checked-in
+``benchmarks/BENCH_traffic.json``) and merged into the trajectory file
+itself with ``--update``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_traffic_weighted.py
+    REPRO_STORE=perf.sqlite PYTHONPATH=src python benchmarks/bench_traffic_weighted.py
+    PYTHONPATH=src python benchmarks/bench_traffic_weighted.py --update
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ TIME_LIMIT_S = float(os.environ.get("REPRO_TRAFFIC_TIME_LIMIT", "30"))
 
 
 def main(argv: list) -> int:
+    write = "--update" in argv or not BENCH_TRAFFIC_JSON.exists()
     sp_before = dijkstra_run_count()
     t0 = time.perf_counter()
     table = traffic_weighted_table3(**PINNED)
@@ -117,8 +121,10 @@ def main(argv: list) -> int:
             "weighted_stretch": rtr["weighted_stretch"],
             "max_utilization": rtr["max_utilization"],
         },
+        write_file=write,
     )
-    print(f"traffic-bench: recorded to {BENCH_TRAFFIC_JSON}: {entry}")
+    where = BENCH_TRAFFIC_JSON if write else "run store (repro query regress gates)"
+    print(f"traffic-bench: recorded to {where}: {entry}")
     if failed:
         return 1
     print("traffic-bench: OK")

@@ -328,6 +328,21 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     bad = _apply_spt_cache_entries(args)
     if bad is not None:
         return bad
+    if args.headroom is not None and args.headroom <= 0.0:
+        print(f"error: headroom must be > 0, got {args.headroom}", file=sys.stderr)
+        return 2
+    if args.utilization_cap is not None and args.utilization_cap <= 0.0:
+        print(
+            f"error: utilization cap must be > 0, got {args.utilization_cap}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.utilization_cap is not None and not args.congestion_aware:
+        print(
+            "error: --utilization-cap requires --congestion-aware",
+            file=sys.stderr,
+        )
+        return 2
     config = {
         "experiment": "traffic",
         "model": args.model,
@@ -336,6 +351,12 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         "topologies": list(topologies),
         "approaches": list(approaches),
     }
+    if args.congestion_aware:
+        config["congestion_aware"] = True
+    if args.headroom is not None:
+        config["headroom"] = args.headroom
+    if args.utilization_cap is not None:
+        config["utilization_cap"] = args.utilization_cap
     with obs.run_context(
         "traffic", seed=args.seed, config=config, topologies=topologies
     ) as manifest:
@@ -351,6 +372,9 @@ def cmd_traffic(args: argparse.Namespace) -> int:
                 n_flows=args.flows,
                 approaches=approaches,
                 jobs=args.jobs,
+                congestion_aware=args.congestion_aware,
+                headroom=args.headroom,
+                utilization_cap=args.utilization_cap,
             )
         else:
             from .eval.experiments import traffic_weighted_table3
@@ -363,6 +387,9 @@ def cmd_traffic(args: argparse.Namespace) -> int:
                 total_demand=args.demand,
                 n_flows=args.flows,
                 approaches=approaches,
+                congestion_aware=args.congestion_aware,
+                headroom=args.headroom,
+                utilization_cap=args.utilization_cap,
             )
         print(format_nested_table(table))
     if manifest is not None and manifest.artifacts_dir:
@@ -719,6 +746,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     traffic.add_argument(
         "--jobs", type=int, default=None, help="worker count for --parallel"
+    )
+    traffic.add_argument(
+        "--congestion-aware",
+        action="store_true",
+        help="live-load loop: penalized phase-2 selection + per-case "
+        "load feedback (repro.te)",
+    )
+    traffic.add_argument(
+        "--headroom",
+        type=float,
+        default=None,
+        help="capacity provisioning factor over baseline load (default 2.0)",
+    )
+    traffic.add_argument(
+        "--utilization-cap",
+        type=float,
+        default=None,
+        help="admission control: shed recoveries that would push a link "
+        "past this utilization (requires --congestion-aware)",
     )
     traffic.set_defaults(func=cmd_traffic)
 

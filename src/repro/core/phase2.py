@@ -29,6 +29,7 @@ from ..routing import (
     Path,
     ShortestPathTree,
     SPTCache,
+    penalized_shortest_path_tree,
     shortest_path_tree,
     updated_tree,
 )
@@ -80,6 +81,7 @@ class Phase2Engine:
         phase1: Phase1Result,
         use_incremental: bool = True,
         cache: Optional[SPTCache] = None,
+        penalty=None,
     ) -> None:
         self.topo = topo
         self.initiator = initiator
@@ -89,12 +91,28 @@ class Phase2Engine:
         #: across every scenario of a sweep.  ``sp_computations`` below is
         #: the §IV *recorded* charge and is unaffected by cache hits.
         self.cache = cache
+        #: Optional :class:`repro.te.penalty.LinkPenalty` snapshot.  When
+        #: set (congestion-aware mode), recomputation minimizes the
+        #: load-penalized metric instead of the base metric; recovery
+        #: paths are re-costed back to base before leaving this engine.
+        self.penalty = penalty
         self.known_failed: Set[Link] = set(phase1.all_known_failed_links())
         self._tree: Optional[ShortestPathTree] = None
         #: Shortest-path calculations actually performed (1 after first use).
         self.sp_computations = 0
 
     def _compute_tree(self) -> ShortestPathTree:
+        if self.penalty is not None and not self.penalty.is_null():
+            # Congestion-aware recomputation is always a fresh penalized
+            # sweep: penalties vary per decision, so neither the shared
+            # pre-failure tree pool nor the incremental update applies.
+            return penalized_shortest_path_tree(
+                self.topo,
+                self.initiator,
+                self.penalty.lid_units(self.topo),
+                self.penalty.quant,
+                excluded_links=self.known_failed,
+            )
         if self.use_incremental:
             # The initiator already has its pre-failure SPT from normal
             # link-state operation; only the incremental update is the
@@ -125,11 +143,21 @@ class Phase2Engine:
         return self._tree
 
     def recovery_path(self, destination: int) -> Optional[Path]:
-        """The shortest path initiator -> destination in ``G - E1``."""
+        """The shortest path initiator -> destination in ``G - E1``.
+
+        Under a penalty snapshot the *selection* minimizes the penalized
+        metric but the returned path is re-costed in the base metric, so
+        stretch and Table III comparisons stay apples-to-apples.
+        """
         tree = self.tree()
         if not tree.reaches(destination):
             return None
-        return tree.path_from(destination)
+        path = tree.path_from(destination)
+        if self.penalty is not None and not self.penalty.is_null():
+            from ..te.penalty import recost_path
+
+            path = recost_path(self.topo, path)
+        return path
 
     def learn_failed_link(self, link: Link) -> bool:
         """Add a failure discovered *after* phase 1 to ``E1`` (§III-D ext.).

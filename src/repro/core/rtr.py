@@ -92,6 +92,16 @@ class RTRConfig:
     #: When the whole ladder fails, model traffic waiting out IGP
     #: reconvergence instead of reporting a plain drop.
     fallback_to_reconvergence: bool = False
+    #: Congestion-aware phase 2 (:mod:`repro.te`): penalize loaded links
+    #: in recovery-path selection.  Strictly off by default — the paper's
+    #: metric, and every pinned golden sweep, is load-oblivious.
+    congestion_aware: bool = False
+    #: Penalty strength at utilization 1.0 (see ``repro.te.penalty``).
+    penalty_alpha: float = 8.0
+    #: Penalty superlinearity exponent.
+    penalty_exponent: float = 2.0
+    #: Utilization beyond this adds no further penalty.
+    penalty_utilization_clip: float = 2.0
 
     def __post_init__(self) -> None:
         if self.delay_model is None:
@@ -107,6 +117,12 @@ class RTRConfig:
                 raise ValueError(f"{name} must be >= 0")
         if self.retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if self.penalty_alpha < 0:
+            raise ValueError("penalty_alpha must be >= 0")
+        if self.penalty_exponent <= 0:
+            raise ValueError("penalty_exponent must be > 0")
+        if self.penalty_utilization_clip <= 0:
+            raise ValueError("penalty_utilization_clip must be > 0")
 
     @classmethod
     def hardened(cls, **overrides) -> "RTRConfig":
@@ -175,6 +191,19 @@ class RTR:
         self._phase1_cache: Dict[int, Phase1Result] = {}
         self._phase2_cache: Dict[int, Phase2Engine] = {}
         self._reconverge_at: Optional[float] = None
+        #: Current load-penalty snapshot (:mod:`repro.te`); consulted by
+        #: phase 2 only when ``config.congestion_aware`` is set.
+        self._penalty = None
+
+    def set_link_penalty(self, penalty) -> None:
+        """Install a :class:`repro.te.penalty.LinkPenalty` snapshot.
+
+        Invalidates cached phase-2 engines: their trees were selected
+        under the previous load picture.  Phase-1 walks stay cached — the
+        collection sweep is load-oblivious by design.
+        """
+        self._penalty = penalty
+        self._phase2_cache.clear()
 
     # ------------------------------------------------------------------
 
@@ -251,6 +280,7 @@ class RTR:
                 phase1,
                 use_incremental=self.config.use_incremental,
                 cache=self.sp_cache,
+                penalty=self._penalty if self.config.congestion_aware else None,
             )
             self._phase2_cache[initiator] = engine
         return engine

@@ -388,6 +388,9 @@ def traffic_weighted_table3(
     total_demand: Optional[float] = None,
     n_flows: int = DEFAULT_TRAFFIC_FLOWS,
     approaches: Sequence[str] = ("RTR", "FCP"),
+    congestion_aware: bool = False,
+    headroom: Optional[float] = None,
+    utilization_cap: Optional[float] = None,
 ) -> Dict[str, Dict]:
     """Traffic-weighted Table III: recovery quality weighted by demand.
 
@@ -398,8 +401,14 @@ def traffic_weighted_table3(
     Returns ``topology -> {approach -> weighted summary row}`` plus an
     ``Overall`` entry pooled across topologies, like
     :func:`table3_recoverable`.
+
+    ``congestion_aware=True`` switches the sweep to the live-load loop of
+    :mod:`repro.te` (penalized phase-2 selection plus optional
+    ``utilization_cap`` admission control); ``headroom`` overrides the
+    capacity provisioning factor.
     """
     from ..traffic import (
+        DEFAULT_HEADROOM,
         DEFAULT_TOTAL_DEMAND,
         TrafficEngine,
         TrafficScenarioRecord,
@@ -409,6 +418,7 @@ def traffic_weighted_table3(
     )
 
     demand = DEFAULT_TOTAL_DEMAND if total_demand is None else total_demand
+    headroom = DEFAULT_HEADROOM if headroom is None else headroom
     per_topo: Dict[str, Dict] = {}
     pooled: Dict[str, List[TrafficScenarioRecord]] = {a: [] for a in approaches}
     for name in topologies:
@@ -418,7 +428,14 @@ def traffic_weighted_table3(
             flow_set = aggregate_flows(matrix, n_flows)
             obs.inc("traffic.flows.total", flow_set.n_flows)
             scenarios = traffic_scenario_list(topo, seed, n_scenarios)
-            engine = TrafficEngine(topo, flow_set, approaches=approaches)
+            engine = TrafficEngine(
+                topo,
+                flow_set,
+                approaches=approaches,
+                congestion_aware=congestion_aware,
+                headroom=headroom,
+                utilization_cap=utilization_cap,
+            )
             records = engine.run_sweep(scenarios)
         per_topo[name] = {
             a: summarize_traffic(records[a]).as_dict() for a in approaches

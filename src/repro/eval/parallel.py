@@ -252,18 +252,44 @@ def _worker_traffic_engine(
     n_scenarios: int,
     approaches: Tuple[str, ...],
     shm_spec: Optional[ShmTopologySpec] = None,
+    congestion_aware: bool = False,
+    headroom: Optional[float] = None,
+    utilization_cap: Optional[float] = None,
 ) -> tuple:
-    key = (name, model, total_demand, n_flows, seed, n_scenarios, approaches)
+    key = (
+        name,
+        model,
+        total_demand,
+        n_flows,
+        seed,
+        n_scenarios,
+        approaches,
+        congestion_aware,
+        headroom,
+        utilization_cap,
+    )
     state = _TRAFFIC_WORKER_STATE.get(key)
     if state is None:
-        from ..traffic import TrafficEngine, aggregate_flows, generate_matrix
+        from ..traffic import (
+            DEFAULT_HEADROOM,
+            TrafficEngine,
+            aggregate_flows,
+            generate_matrix,
+        )
         from .experiments import traffic_scenario_list
 
         topo = _worker_topology(name, seed, shm_spec)
         matrix = generate_matrix(topo, model, total_demand=total_demand, seed=seed)
         flow_set = aggregate_flows(matrix, n_flows)
         scenarios = traffic_scenario_list(topo, seed, n_scenarios)
-        engine = TrafficEngine(topo, flow_set, approaches=approaches)
+        engine = TrafficEngine(
+            topo,
+            flow_set,
+            approaches=approaches,
+            congestion_aware=congestion_aware,
+            headroom=DEFAULT_HEADROOM if headroom is None else headroom,
+            utilization_cap=utilization_cap,
+        )
         state = (engine, scenarios)
         _TRAFFIC_WORKER_STATE[key] = state
     return state
@@ -280,11 +306,24 @@ def _run_traffic_shard(
     shard_index: int,
     n_shards: int,
     shm_spec: Optional[ShmTopologySpec] = None,
+    congestion_aware: bool = False,
+    headroom: Optional[float] = None,
+    utilization_cap: Optional[float] = None,
 ) -> Dict[str, list]:
     """Run one (topology, scenario-shard) chunk — shared by workers and
     the parent-side serial retry (which must not touch obs state)."""
     engine, scenarios = _worker_traffic_engine(
-        name, model, total_demand, n_flows, seed, n_scenarios, approaches, shm_spec
+        name,
+        model,
+        total_demand,
+        n_flows,
+        seed,
+        n_scenarios,
+        approaches,
+        shm_spec,
+        congestion_aware,
+        headroom,
+        utilization_cap,
     )
     indices = shard_scenario_indices(n_scenarios, n_shards)[shard_index]
     records: Dict[str, list] = {a: [] for a in approaches}
@@ -305,6 +344,9 @@ def parallel_traffic(
     approaches: Sequence[str] = ("RTR", "FCP"),
     jobs: Optional[int] = None,
     shards_per_topology: Optional[int] = None,
+    congestion_aware: bool = False,
+    headroom: Optional[float] = None,
+    utilization_cap: Optional[float] = None,
 ) -> Dict[str, Dict]:
     """Traffic-weighted Table III via scenario-sharded pool execution.
 
@@ -349,6 +391,9 @@ def parallel_traffic(
                     s,
                     n_shards,
                     exports[name].spec if name in exports else None,
+                    congestion_aware,
+                    headroom,
+                    utilization_cap,
                 ),
             )
             for name in topologies

@@ -4,6 +4,7 @@ from .paths import Path
 from .spt import ShortestPathTree
 from .dijkstra import (
     dijkstra_run_count,
+    penalized_shortest_path_tree,
     reverse_shortest_path_tree,
     shortest_path,
     shortest_path_or_none,
@@ -21,6 +22,7 @@ __all__ = [
     "ShortestPathTree",
     "SPTCache",
     "dijkstra_run_count",
+    "penalized_shortest_path_tree",
     "reverse_shortest_path_tree",
     "shortest_path",
     "shortest_path_or_none",

@@ -200,6 +200,116 @@ def reverse_shortest_path_tree(
     )
 
 
+def _penalized_csr_kernel(
+    topo: Topology,
+    root: int,
+    link_units,
+    quant: int,
+    link_excl: Optional[bytearray],
+    target: Optional[int] = None,
+) -> ShortestPathTree:
+    """Reference heap Dijkstra under the load-penalized metric.
+
+    Identical to :func:`_dijkstra_csr_kernel` (forward direction) with
+    every arc weight substituted by ``wfwd * (quant + units[lid])`` —
+    the integer-quantized congestion multiplier of
+    :mod:`repro.te.penalty`.  Distances are in penalized units.
+    """
+    csr = topo.csr()
+    root_index = csr.pos.get(root)
+    if root_index is None:
+        raise UnknownNodeError(root)
+    target_index = csr.pos.get(target, -1) if target is not None else -1
+
+    indptr = csr.indptr
+    nbr = csr.nbr
+    weight = csr.wfwd
+    lid = csr.lid
+
+    n = csr.n
+    dist = [_INF] * n
+    parent = [-1] * n
+    settled = bytearray(n)
+    dist[root_index] = 0.0
+    heap = [(0.0, root_index)]
+    while heap:
+        d, u = heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = 1
+        if u == target_index:
+            break
+        for i in range(indptr[u], indptr[u + 1]):
+            v = nbr[i]
+            if settled[v]:
+                continue
+            if link_excl is not None and link_excl[lid[i]]:
+                continue
+            candidate = d + weight[i] * (quant + link_units[lid[i]])
+            known = dist[v]
+            if candidate < known - 1e-12:
+                dist[v] = candidate
+                parent[v] = u
+                heappush(heap, (candidate, v))
+            elif candidate <= known + 1e-12 and u < parent[v]:
+                parent[v] = u
+    ids = csr.ids
+    dist_map = {}
+    parent_map = {}
+    for i in range(n):
+        d = dist[i]
+        if d != _INF:
+            dist_map[ids[i]] = d
+            p = parent[i]
+            parent_map[ids[i]] = ids[p] if p >= 0 else None
+    return ShortestPathTree(root, dist_map, parent_map, toward_root=False)
+
+
+def penalized_shortest_path_tree(
+    topo: Topology,
+    source: int,
+    link_units,
+    quant: int,
+    excluded_links: Optional[Set[Link]] = None,
+    target: Optional[int] = None,
+) -> ShortestPathTree:
+    """Forward SPT minimizing Σ ``cost · (quant + units(link))``.
+
+    ``link_units`` is a lid-indexed sequence of non-negative integer
+    penalty units (see :class:`repro.te.penalty.LinkPenalty`); ``quant``
+    is the integer quantization base, so zero units everywhere yields the
+    base-metric SPT with all distances scaled by ``quant``.  The backend
+    follows ``REPRO_KERNEL`` (the numpy kernel is bit-identical to the
+    reference on exact graphs); a ``target`` early-exit always stays on
+    the reference kernel, like the base dispatcher.  Tree distances are
+    in penalized units — re-cost paths with
+    :func:`repro.te.penalty.recost_path` before comparing against
+    base-metric optima.
+    """
+    global _RUN_COUNT
+    _RUN_COUNT += 1
+    csr = topo.csr()
+    link_excl = csr.link_flags(excluded_links) if excluded_links else None
+    max_units = int(max(link_units, default=0))
+    if target is not None:
+        backend, np_view = "python", None
+    else:
+        backend, np_view = kernels.penalized_backend(csr, quant, max_units)
+    if backend == "numpy":
+        kernel = lambda: kernels.penalized_numpy(  # noqa: E731
+            topo, np_view, source, link_units, quant, None, link_excl
+        )
+    else:
+        kernel = lambda: _penalized_csr_kernel(  # noqa: E731
+            topo, source, link_units, quant, link_excl, target
+        )
+    if not obs.enabled():
+        return kernel()
+    with obs.span("dijkstra.penalized"):
+        obs.inc("dijkstra.runs")
+        return kernel()
+
+
 def shortest_path(
     topo: Topology,
     source: int,

@@ -353,6 +353,94 @@ def dijkstra_numpy(
 
 
 # ----------------------------------------------------------------------
+# Penalized-metric trees (repro.te congestion-aware routing)
+# ----------------------------------------------------------------------
+
+
+def penalized_eligible(view: Optional[NumpyCSR], quant: int, max_units: int) -> bool:
+    """Whether the penalized weights stay exactly representable.
+
+    The congestion-aware metric multiplies every base cost by
+    ``quant + units(link)`` (all integers), so the bit-identical sweep
+    argument of DESIGN.md §12 holds iff the worst simple-path sum of
+    *penalized* costs still fits below 2**53.
+    """
+    if view is None or not view.exact:
+        return False
+    if view.m == 0:
+        return True
+    worst_base = max(float(view.wfwd.max()), float(view.wrev.max()))
+    return worst_base * (quant + max_units) * max(view.n, 1) < 2.0**53
+
+
+def penalized_backend(
+    csr, quant: int, max_units: int
+) -> Tuple[str, Optional[NumpyCSR]]:
+    """Resolve the backend for one penalized-metric computation.
+
+    Mirrors :func:`select_backend`: ``REPRO_KERNEL=python`` forces the
+    reference kernel, ``numpy`` forces numpy for eligible graphs (and
+    errors when numpy is absent), ``auto`` picks numpy at scale.
+    Ineligible penalized weights (non-exact base costs, or products too
+    large for exact float64 sums) always stay on the reference kernel.
+    """
+    mode = kernel_mode()
+    if mode == "python":
+        return "python", None
+    if mode == "numpy" and not numpy_available():
+        raise RoutingError(
+            f"{KERNEL_ENV}=numpy but numpy is not importable; "
+            "install the [fast] extra or unset the variable"
+        )
+    if mode == "auto" and (not numpy_available() or csr.n < AUTO_MIN_NODES):
+        return "python", None
+    view = _eligible_view(csr)
+    if not penalized_eligible(view, quant, max_units):
+        return "python", None
+    return "numpy", view
+
+
+def penalized_numpy(
+    topo,
+    view: NumpyCSR,
+    root: int,
+    units,
+    quant: int,
+    node_excl: Optional[bytearray],
+    link_excl: Optional[bytearray],
+) -> ShortestPathTree:
+    """Forward SPT under the load-penalized metric, vectorized.
+
+    ``units`` is a lid-indexed integer array of penalty units; the
+    per-arc gather weight becomes ``wrev * (quant + units[lid])`` —
+    symmetric per link, so both directions of an adjacency see the same
+    multiplier.  Distances are in penalized (scaled) units; callers
+    re-cost paths in the base metric (:func:`repro.te.penalty.recost_path`).
+    Bit-identical to the reference heap kernel with the same substituted
+    weights (same integer-exactness argument as the base kernels).
+    """
+    global _NUMPY_RUNS
+    np = numpy_or_none()
+    csr = topo.csr()
+    root_index = csr.pos.get(root)
+    if root_index is None:
+        raise UnknownNodeError(root)
+    _NUMPY_RUNS += 1
+    if obs.enabled():
+        obs.inc("dijkstra.numpy_runs")
+        obs.inc("te.penalized.numpy_runs")
+    units_arr = np.asarray(units, dtype=np.float64)
+    weights = view.wrev * (float(quant) + units_arr[view.lid])
+    usable = _gather_usable(view, node_excl, link_excl)
+    dist = np.full(view.n, _INF)
+    dist[root_index] = 0.0
+    dist = _sweep(np, view, dist, weights, usable, pin=root_index)
+    parent = _parent_pass(np, view, dist, weights, usable)
+    parent[root_index] = -1
+    return _tree_from_arrays(csr, root, dist, parent, toward_root=False)
+
+
+# ----------------------------------------------------------------------
 # Batched multi-source
 # ----------------------------------------------------------------------
 

@@ -109,6 +109,11 @@ class RecoveryResult:
     #: Recovery-packet retries (phase-1 retransmissions, phase-2 resends
     #: and §III-D re-invocations) spent on this case.
     retries: int = 0
+    #: Whether a congestion-aware sweep refused this recovery at the
+    #: initiator because admitting it would push some link past the
+    #: utilization cap (traffic shed for congestion-free recovery).  The
+    #: packet is discarded before transmission, so no waste accrues.
+    admission_dropped: bool = False
     #: When per-case error isolation caught a crash, the formatted
     #: exception; ``None`` for any outcome the protocol itself produced.
     error: Optional[str] = None

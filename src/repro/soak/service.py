@@ -384,7 +384,7 @@ class SoakService:
         salts_digest = hashlib.sha256(
             json.dumps(self.salts, separators=(",", ":")).encode("utf-8")
         ).hexdigest()
-        return {
+        summary = {
             "version": 1,
             "config": self.config.to_dict(),
             "config_hash": self.config_hash,
@@ -395,6 +395,11 @@ class SoakService:
             "salts_digest": salts_digest,
             "approaches": approaches,
         }
+        # JSON-normalize so the returned summary equals its on-disk
+        # round-trip exactly: record/summary rows carry tuple-typed
+        # fields (utilization histograms, overload attribution) that
+        # would otherwise come back as lists.
+        return json.loads(json.dumps(summary))
 
     # -- signals -------------------------------------------------------
 

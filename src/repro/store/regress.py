@@ -11,8 +11,11 @@ per compared metric::
 All gated metrics are lower-is-better timings or deterministic work
 counts; only the families below are gated, so payload fields like
 ``demand_recovery_rate_pct`` (where bigger is better) never false-fail.
-The exit contract matches ``perf_smoke.py``: zero when every verdict is
-ok/skip, nonzero when any metric regressed.
+Relative regressions whose *absolute* delta sits under the family's
+noise floor (``DEFAULT_NOISE_FLOORS``) are downgraded to ok with a
+note — millisecond-scale microbenchmark rows double on scheduler
+jitter alone.  The exit contract matches ``perf_smoke.py``: zero when
+every verdict is ok/skip, nonzero when any metric regressed.
 """
 
 from __future__ import annotations
@@ -34,6 +37,18 @@ DEFAULT_THRESHOLDS: Dict[str, float] = {
     "wall_s": 0.30,
     "build_s": 0.50,
     "span_ms": 0.50,
+    "sp_computations": 0.0,
+}
+
+#: Absolute-increase floors per metric family: a relative regression is
+#: only flagged when the raw delta also exceeds the family's floor.
+#: Microbenchmark rows (a few milliseconds of wall clock) double on
+#: scheduler jitter alone — a +100% blip on 4 ms is noise, while +100%
+#: on 400 ms is a regression.  Deterministic counts keep a zero floor.
+DEFAULT_NOISE_FLOORS: Dict[str, float] = {
+    "wall_s": 0.05,
+    "build_s": 0.05,
+    "span_ms": 50.0,
     "sp_computations": 0.0,
 }
 
@@ -60,9 +75,11 @@ class Verdict:
         change = _relative_change(self.baseline, self.latest)
         detail = (
             f"{_fmt(self.baseline)} -> {_fmt(self.latest)}  "
-            f"({change:+.1%} {'<=' if self.status == STATUS_OK else '>'} "
+            f"({change:+.1%} {'<=' if change <= (self.threshold or 0.0) else '>'} "
             f"+{self.threshold:.0%})"
         )
+        if self.note:
+            detail += f"  [{self.note}]"
         return f"{self.status:4s} {self.bench:34s} {self.metric:28s} {detail}"
 
 
@@ -136,6 +153,12 @@ def compare_entry(
         assert threshold is not None  # gated_metrics filtered on it
         change = _relative_change(base_value, latest_value)
         status = STATUS_REGRESSION if change > threshold else STATUS_OK
+        note = ""
+        if status == STATUS_REGRESSION:
+            floor = threshold_for(metric, DEFAULT_NOISE_FLOORS) or 0.0
+            if latest_value - base_value < floor:
+                status = STATUS_OK
+                note = f"delta {latest_value - base_value:.4g} under noise floor {floor:g}"
         verdicts.append(
             Verdict(
                 bench=name,
@@ -144,6 +167,7 @@ def compare_entry(
                 latest=latest_value,
                 threshold=threshold,
                 status=status,
+                note=note,
             )
         )
     return verdicts

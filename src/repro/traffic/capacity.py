@@ -68,6 +68,8 @@ def provision_capacities(
     capacity — no link gets zero capacity.  Returns the capacity map and
     stores it on the topology via :meth:`Topology.set_link_capacity`.
     """
+    if headroom <= 0.0:
+        raise ValueError(f"headroom must be > 0, got {headroom}")
     loads = baseline_loads(topo, matrix, routing)
     loaded = [headroom * load for load in loads.values() if load > 0.0]
     mean_capacity = math.fsum(sorted(loaded)) / len(loaded) if loaded else 1.0
@@ -166,6 +168,16 @@ class LinkLoadMap:
             (link, self._loads[link], self.utilization(link))
             for link in ranked[:n]
         ]
+
+    def utilization_cdf(self) -> Tuple[int, ...]:
+        """Fixed-bin utilization histogram over *every* topology link.
+
+        Delegates to :func:`repro.te.metrics.utilization_histogram`;
+        integer counts merge exactly across scenarios and shards.
+        """
+        from ..te.metrics import utilization_histogram
+
+        return utilization_histogram(self)
 
     def __len__(self) -> int:
         return len(self._loads)

@@ -26,8 +26,8 @@ the same shortest-path work as the unweighted evaluation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..baselines import Oracle
@@ -39,7 +39,9 @@ from ..eval.runner import EvaluationRunner
 from ..failures import FailureScenario, LocalView
 from ..routing import RoutingTable, SPTCache
 from ..topology import Link, Topology
-from .capacity import LinkLoadMap, provision_capacities
+from ..te.metrics import overload_attribution
+from ..te.penalty import LinkPenalty
+from .capacity import DEFAULT_HEADROOM, LinkLoadMap, provision_capacities
 from .flows import FlowSet
 from .metrics import TrafficScenarioRecord, safe_div
 
@@ -177,6 +179,9 @@ class TrafficEngine:
         rtr_config: Optional[RTRConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         provision: bool = True,
+        congestion_aware: bool = False,
+        headroom: float = DEFAULT_HEADROOM,
+        utilization_cap: Optional[float] = None,
     ) -> None:
         self.topo = topo
         self.flow_set = flow_set
@@ -186,6 +191,38 @@ class TrafficEngine:
             routing if routing is not None else RoutingTable(topo, cache=self.cache)
         )
         self.approaches = tuple(approaches)
+        self.congestion_aware = congestion_aware
+        if utilization_cap is not None and utilization_cap <= 0.0:
+            raise ValueError(
+                f"utilization_cap must be > 0, got {utilization_cap}"
+            )
+        if utilization_cap is not None and not congestion_aware:
+            raise ValueError(
+                "utilization_cap requires congestion_aware=True "
+                "(admission control runs inside the live-load case loop)"
+            )
+        #: Admission control: a congestion-aware sweep refuses recoveries
+        #: whose admitted demand would push any provisioned link past this
+        #: utilization.  Rerouting alone cannot always stay below a bound —
+        #: when the only surviving corridor is a bridge, every scheme that
+        #: delivers everything overloads it — so congestion-*free* recovery
+        #: (the R3/Enhanced-MRC guarantee) necessarily sheds the overflow.
+        self.utilization_cap = utilization_cap
+        if congestion_aware:
+            # Congestion-aware sweeps flip the RTR phase-2 metric on and
+            # feed live load snapshots to any scheme that accepts them.
+            # Penalized detours stray from the shortest corridor and hit
+            # failures phase 1 missed more often, so §III-D re-invocations
+            # (learn the link from the drop, recompute) are enabled unless
+            # the caller configured their own budget.
+            base_config = rtr_config if rtr_config is not None else RTRConfig()
+            rtr_config = replace(
+                base_config,
+                congestion_aware=True,
+                max_phase2_reinvocations=max(
+                    base_config.max_phase2_reinvocations, 3
+                ),
+            )
         self.rtr_config = rtr_config
         self.fault_plan = fault_plan
         # Always (re)provision: capacities are a deterministic function of
@@ -193,7 +230,7 @@ class TrafficEngine:
         # independent of whatever sweep touched this shared topology
         # before.  Pass ``provision=False`` to keep custom capacities.
         if provision:
-            provision_capacities(topo, self.matrix, self.routing)
+            provision_capacities(topo, self.matrix, self.routing, headroom=headroom)
         self.runner = EvaluationRunner(
             topo,
             routing=self.routing,
@@ -226,7 +263,12 @@ class TrafficEngine:
                 scenarios=[scenario],
                 cases=cases,
             )
-            records = self.runner.run(case_set)
+            if self.congestion_aware:
+                records = self._run_cases_congestion_aware(
+                    scenario, cases, groups, classification
+                )
+            else:
+                records = self.runner.run(case_set)
             out: Dict[str, TrafficScenarioRecord] = {}
             for approach in self.approaches:
                 out[approach] = self._weight_records(
@@ -252,6 +294,111 @@ class TrafficEngine:
         return results
 
     # ------------------------------------------------------------------
+
+    def _run_cases_congestion_aware(
+        self,
+        scenario: FailureScenario,
+        cases: Sequence[TestCase],
+        groups: Dict[Tuple[int, int], List[DisruptedPair]],
+        classification: PairClassification,
+    ) -> Dict[str, List[CaseRecord]]:
+        """Run cases with live load feedback into path selection.
+
+        Mirrors :meth:`EvaluationRunner.run` (same obs counters, same
+        per-case error isolation) but runs each approach's cases
+        sequentially against a *live* :class:`LinkLoadMap`: before every
+        case, schemes exposing ``set_link_penalty`` (duck typed — RTR
+        does) receive a fresh :class:`~repro.te.penalty.LinkPenalty`
+        snapshot of everything routed so far, so each recovery steers
+        around the links earlier ones loaded — including the same
+        initiator's own previous recoveries.  State is per-scenario (the
+        map starts from intact loads), which keeps serial and sharded
+        sweeps identical.
+        """
+        config = self.rtr_config if self.rtr_config is not None else RTRConfig()
+        for _ in cases:
+            obs.inc("eval.cases")
+        records: Dict[str, List[CaseRecord]] = {}
+        for name in self.approaches:
+            instance = self.runner.schemes[name].instantiate(scenario)
+            set_penalty = getattr(instance.protocol, "set_link_penalty", None)
+            loads = self._intact_loads(classification)
+            out: List[CaseRecord] = []
+            for case in cases:
+                obs.inc(self.runner._case_counters[name])
+                if set_penalty is not None:
+                    set_penalty(
+                        LinkPenalty.from_load_map(
+                            loads,
+                            alpha=config.penalty_alpha,
+                            exponent=config.penalty_exponent,
+                            clip=config.penalty_utilization_clip,
+                        )
+                    )
+                result = self.runner._recover_one(instance, name, case)
+                group = groups[(case.initiator, case.destination)]
+                group_demand = math.fsum(p.demand for p in group)
+                if (
+                    self.utilization_cap is not None
+                    and result.delivered
+                    and result.path is not None
+                    and self._exceeds_cap(loads, result.path, group_demand)
+                ):
+                    # Admission control: delivering this group would push a
+                    # link past the cap, so the initiator sheds it instead
+                    # (early discard — zero transmission waste).
+                    obs.inc("traffic.admission.dropped")
+                    result = replace(
+                        result,
+                        delivered=False,
+                        path=None,
+                        drop_hops=0,
+                        drop_packet_bytes=0,
+                        admission_dropped=True,
+                    )
+                out.append(CaseRecord(case=case, result=result))
+                for pair in group:
+                    self._add_prefix_load(loads, pair)
+                if result.delivered and result.path is not None:
+                    loads.add_path(result.path, group_demand)
+            records[name] = out
+        return records
+
+    def _exceeds_cap(
+        self, loads: LinkLoadMap, path, demand: float
+    ) -> bool:
+        """Would routing ``demand`` along ``path`` breach the cap anywhere?
+
+        Links without a provisioned capacity are never capped (their
+        utilization is undefined); a small tolerance keeps admitting
+        demand that lands exactly on the cap.
+        """
+        cap = self.utilization_cap
+        assert cap is not None
+        for a, b in path.hops():
+            link = Link.of(a, b)
+            capacity = self.topo.link_capacity(link)
+            if capacity is None or capacity <= 0.0:
+                continue
+            if (loads.load(link) + demand) / capacity > cap + 1e-12:
+                return True
+        return False
+
+    def _intact_loads(self, classification: PairClassification) -> LinkLoadMap:
+        """Default-path loads of the pairs the failure did not disrupt.
+
+        One batched tree pass per destination, destinations in sorted
+        order (deterministic float accumulation).
+        """
+        loads = LinkLoadMap(self.topo)
+        for destination in sorted(classification.intact_by_destination):
+            loads.merge_loads(
+                self.routing.edge_loads_to(
+                    destination,
+                    classification.intact_by_destination[destination],
+                )
+            )
+        return loads
 
     @staticmethod
     def _group_pairs(
@@ -310,20 +457,13 @@ class TrafficEngine:
         phase1_loss: List[float] = []
         fallback_demand: List[float] = []
         error_demand: List[float] = []
+        admission_dropped: List[float] = []
         max_stretch = 0.0
         disrupted_flows = 0
         delivered_flows = 0
 
-        loads = LinkLoadMap(self.topo)
-        # Surviving pairs keep their default paths: one batched tree pass
-        # per destination, destinations in sorted order (deterministic).
-        for destination in sorted(classification.intact_by_destination):
-            loads.merge_loads(
-                self.routing.edge_loads_to(
-                    destination,
-                    classification.intact_by_destination[destination],
-                )
-            )
+        # Surviving pairs keep their default paths.
+        loads = self._intact_loads(classification)
 
         for key in sorted(groups):
             record = by_case[key]
@@ -353,6 +493,8 @@ class TrafficEngine:
                 fallback_demand.append(group_demand)
             elif result.status == "error":
                 error_demand.append(group_demand)
+            if result.admission_dropped:
+                admission_dropped.append(group_demand)
             # Traffic black-holed while the initiator's phase-1 walk was
             # still in flight (§IV-B delay model): rate × window.
             if result.phase1_duration > 0.0:
@@ -367,6 +509,10 @@ class TrafficEngine:
 
         overloaded = loads.overloaded_links()
         record = TrafficScenarioRecord(
+            utilization_hist=loads.utilization_cdf(),
+            overload_attribution=self._attribute_overloads(
+                loads, overloaded, groups, by_case
+            ),
             approach=approach,
             scenario_index=scenario_index,
             total_demand=self.matrix.total_demand,
@@ -391,6 +537,7 @@ class TrafficEngine:
             max_utilization=loads.max_utilization(),
             overloaded_links=len(overloaded),
             overload_demand=loads.overload_demand(),
+            admission_dropped_demand=math.fsum(admission_dropped),
         )
         obs.inc(f"traffic.demand.delivered.{approach}", record.delivered_demand)
         obs.observe("traffic.max_utilization", record.max_utilization)
@@ -402,8 +549,52 @@ class TrafficEngine:
         )
         return record
 
-    def _add_prefix_load(self, loads: LinkLoadMap, pair: DisruptedPair) -> None:
-        """Load the surviving default-path prefix source -> initiator."""
+    def _attribute_overloads(
+        self,
+        loads: LinkLoadMap,
+        overloaded: Sequence[Tuple[Link, float]],
+        groups: Dict[Tuple[int, int], List[DisruptedPair]],
+        by_case: Dict[Tuple[int, int], CaseRecord],
+    ) -> Tuple:
+        """Top-k overload attribution (empty when nothing is overloaded).
+
+        A second pass over the disrupted groups charges each top
+        overloaded link with the rerouted OD demands that crossed it —
+        surviving prefixes and delivered recovery paths; intact
+        background load is not a rerouting decision, so it is not
+        attributed.
+        """
+        if not overloaded:
+            return ()
+        top = {link for link, _ in overloaded[:3]}
+        contributions: Dict[Link, Dict[Tuple[int, int], float]] = {
+            link: {} for link in top
+        }
+
+        def charge(link: Link, source: int, destination: int, demand: float) -> None:
+            per_pair = contributions[link]
+            key = (source, destination)
+            per_pair[key] = per_pair.get(key, 0.0) + demand
+
+        for key in sorted(groups):
+            group = groups[key]
+            for pair in group:
+                for link in self._prefix_links(pair):
+                    if link in top:
+                        charge(link, pair.source, pair.destination, pair.demand)
+            result = by_case[key].result
+            if result.delivered and result.path is not None:
+                for a, b in result.path.hops():
+                    link = Link.of(a, b)
+                    if link in top:
+                        for pair in group:
+                            charge(
+                                link, pair.source, pair.destination, pair.demand
+                            )
+        return overload_attribution(loads, contributions)
+
+    def _prefix_links(self, pair: DisruptedPair) -> Iterator[Link]:
+        """Links of the surviving default-path prefix source -> initiator."""
         if pair.source == pair.initiator:
             return
         tree = self.routing.tree_to(pair.destination)
@@ -411,5 +602,10 @@ class TrafficEngine:
         while node != pair.initiator:
             nxt = tree.next_hop(node)
             assert nxt is not None  # the classification walk got through
-            loads.add_link(Link.of(node, nxt), pair.demand)
+            yield Link.of(node, nxt)
             node = nxt
+
+    def _add_prefix_load(self, loads: LinkLoadMap, pair: DisruptedPair) -> None:
+        """Load the surviving default-path prefix source -> initiator."""
+        for link in self._prefix_links(pair):
+            loads.add_link(link, pair.demand)

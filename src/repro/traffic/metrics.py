@@ -24,7 +24,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+from ..te.metrics import (
+    merge_histograms,
+    utilization_percentile,
+)
 
 
 def safe_div(numerator: float, denominator: float) -> float:
@@ -78,6 +83,17 @@ class TrafficScenarioRecord:
     max_utilization: float
     overloaded_links: int
     overload_demand: float
+    #: Fixed-bin utilization histogram over all topology links
+    #: (:data:`repro.te.metrics.UTILIZATION_BIN_EDGES` + overflow); empty
+    #: tuple on records predating the congestion layer.
+    utilization_hist: Tuple[int, ...] = ()
+    #: Top-k overload attribution entries
+    #: (:data:`repro.te.metrics.AttributionEntry`): which rerouted OD
+    #: demands piled onto each overloaded link.
+    overload_attribution: Tuple = ()
+    #: Demand shed by utilization-cap admission control (congestion-aware
+    #: sweeps only; counted inside the drop totals, reported separately).
+    admission_dropped_demand: float = 0.0
 
 
 @dataclass
@@ -112,6 +128,17 @@ class TrafficWeightedSummary:
     max_utilization: float
     max_overloaded_links: int
     max_overload_demand: float
+    #: Fraction of scenarios recovered with zero overloaded links.
+    congestion_free_rate: float = 0.0
+    #: Percentiles of the merged post-recovery utilization CDF (upper bin
+    #: edges; pair with ``max_utilization`` for the exact tail).
+    utilization_p50: float = 0.0
+    utilization_p95: float = 0.0
+    utilization_p99: float = 0.0
+    #: Overload attribution of the worst (max-utilization) scenario.
+    worst_overload_attribution: Tuple = ()
+    #: Total demand shed by utilization-cap admission control.
+    admission_dropped_demand: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """Row form for reports (percentages rounded like Table III)."""
@@ -131,6 +158,11 @@ class TrafficWeightedSummary:
             "mean_phase1_window_ms": round(1000.0 * self.mean_phase1_window_s, 3),
             "max_utilization": round(self.max_utilization, 3),
             "overloaded_links": self.max_overloaded_links,
+            "congestion_free_pct": round(100.0 * self.congestion_free_rate, 1),
+            "utilization_p50": round(self.utilization_p50, 3),
+            "utilization_p95": round(self.utilization_p95, 3),
+            "utilization_p99": round(self.utilization_p99, 3),
+            "admission_dropped_demand": round(self.admission_dropped_demand, 3),
         }
 
 
@@ -155,6 +187,13 @@ def summarize_traffic(
     stretch_sum = math.fsum(r.stretch_demand_sum for r in records)
     stretch_weight = math.fsum(r.stretch_demand_weight for r in records)
     phase1_loss = math.fsum(r.phase1_loss for r in records)
+    merged_hist = merge_histograms(r.utilization_hist for r in records)
+    has_hist = sum(merged_hist) > 0
+    worst = max(
+        records,
+        key=lambda r: (r.max_utilization, -r.scenario_index),
+        default=None,
+    )
     return TrafficWeightedSummary(
         approach=approach,
         scenarios=len(records),
@@ -179,6 +218,19 @@ def summarize_traffic(
         ),
         max_overload_demand=max(
             (r.overload_demand for r in records), default=0.0
+        ),
+        congestion_free_rate=safe_div(
+            float(sum(1 for r in records if r.overloaded_links == 0)),
+            float(len(records)),
+        ),
+        utilization_p50=utilization_percentile(merged_hist, 0.50) if has_hist else 0.0,
+        utilization_p95=utilization_percentile(merged_hist, 0.95) if has_hist else 0.0,
+        utilization_p99=utilization_percentile(merged_hist, 0.99) if has_hist else 0.0,
+        worst_overload_attribution=(
+            worst.overload_attribution if worst is not None else ()
+        ),
+        admission_dropped_demand=math.fsum(
+            r.admission_dropped_demand for r in records
         ),
     )
 

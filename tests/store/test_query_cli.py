@@ -154,6 +154,27 @@ class TestRegress:
         assert line.startswith("REG") and "+100.0%" in line and ">" in line
         assert "1 regressed" in summary_line(verdicts)
 
+    def test_microbench_noise_stays_under_the_floor(self):
+        # +100% on 4 ms of wall clock is scheduler jitter, not a
+        # regression: the absolute delta sits under the 50 ms noise
+        # floor, so the verdict downgrades to ok (with a note).
+        verdicts = compare_entry(
+            "micro_bench",
+            {"wall_s": 0.004},
+            {"wall_s": 0.008},
+            DEFAULT_THRESHOLDS,
+        )
+        assert [v.status for v in verdicts] == ["ok"]
+        assert "noise floor" in verdicts[0].line()
+        # The same relative growth above the floor still regresses.
+        real = compare_entry(
+            "macro_bench",
+            {"wall_s": 0.4},
+            {"wall_s": 0.8},
+            DEFAULT_THRESHOLDS,
+        )
+        assert [v.status for v in real] == ["REG"]
+
     def test_zero_baseline_growth_is_a_regression(self):
         # 0 -> 5000 is an infinite relative increase; it must trip the
         # 0% sp_computations bar rather than divide-by-zero to "ok".
