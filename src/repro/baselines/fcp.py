@@ -33,6 +33,7 @@ from ..simulator import (
     RecoveryAccounting,
     RecoveryHeader,
     RecoveryResult,
+    WalkBatch,
 )
 from ..topology import Link, Topology
 
@@ -93,6 +94,12 @@ class FCP:
 
         current = initiator
         traveled_path: List[int] = [initiator]
+        # Each attempt's route runs through the walk plane — but only on a
+        # plain engine.  FCP's wandering historically forwards with bare
+        # ``forward_one_hop`` calls and never samples the per-hop loss
+        # stream; the plane's route walk would, so chaos engines keep the
+        # inline loop to stay seed-identical.
+        plain_engine = type(self.engine) is ForwardingEngine
         for _ in range(self.max_recomputations):
             carried: Set[Link] = set(header.failed_links)
             local = set(self.view.locally_failed_links(current))
@@ -107,25 +114,40 @@ class FCP:
                 )
             header.source_route = list(route.nodes)
 
-            hit_failure = False
-            for node, nxt in route.hops():
-                if not self.view.is_neighbor_reachable(node, nxt):
-                    header.record_failed(Link.of(node, nxt))
-                    current = node
-                    hit_failure = True
-                    break
-                self.engine.forward_one_hop(packet, nxt, accounting)
-                traveled_path.append(nxt)
-            if not hit_failure:
-                return RecoveryResult(
-                    approach=APPROACH_NAME,
-                    delivered=True,
-                    path=Path(
-                        tuple(traveled_path),
-                        _hop_cost(self.topo, traveled_path),
-                    ),
-                    accounting=accounting,
-                )
+            if plain_engine:
+                hops_before = accounting.hops_traveled
+                batch = WalkBatch(self.engine)
+                handle = batch.add_route(packet, list(route.nodes), accounting)
+                outcome = batch.execute().result(handle)
+                hops = accounting.hops_traveled - hops_before
+                traveled_path.extend(route.nodes[1 : 1 + hops])
+                if not outcome.delivered:
+                    header.record_failed(
+                        Link.of(outcome.drop_node, route.nodes[hops + 1])
+                    )
+                    current = outcome.drop_node
+                    continue
+            else:
+                hit_failure = False
+                for node, nxt in route.hops():
+                    if not self.view.is_neighbor_reachable(node, nxt):
+                        header.record_failed(Link.of(node, nxt))
+                        current = node
+                        hit_failure = True
+                        break
+                    self.engine.forward_one_hop(packet, nxt, accounting)
+                    traveled_path.append(nxt)
+                if hit_failure:
+                    continue
+            return RecoveryResult(
+                approach=APPROACH_NAME,
+                delivered=True,
+                path=Path(
+                    tuple(traveled_path),
+                    _hop_cost(self.topo, traveled_path),
+                ),
+                accounting=accounting,
+            )
         raise SimulationError(
             f"FCP exceeded {self.max_recomputations} recomputations"
         )

@@ -30,6 +30,10 @@ from ..simulator import (
     Packet,
     RecoveryAccounting,
     RecoveryResult,
+    TableWalkSpec,
+    WalkBatch,
+    WalkPlan,
+    table_walk_hop_budget,
 )
 from ..topology import Link, Topology
 
@@ -85,12 +89,23 @@ class BackupConfiguration:
             return RESTRICTED_WEIGHT
         return self.topo.cost(link.u, link.v)
 
-    def next_hop(self, node: int, destination: int) -> Optional[int]:
-        """Next hop of ``node`` toward ``destination`` in this configuration."""
+    def tree(self, destination: int) -> Dict[int, int]:
+        """The (cached) next-hop map toward ``destination``.
+
+        This is the table the batched walk plane consumes directly: a
+        :class:`~repro.simulator.TableWalkSpec` over it is equivalent to
+        per-hop :meth:`next_hop` calls, because the table-walk semantics
+        check the destination *before* the lookup.
+        """
         tree = self._trees.get(destination)
         if tree is None:
             tree = _weighted_reverse_tree(self.topo, destination, self)
             self._trees[destination] = tree
+        return tree
+
+    def next_hop(self, node: int, destination: int) -> Optional[int]:
+        """Next hop of ``node`` toward ``destination`` in this configuration."""
+        tree = self.tree(destination)
         if node == destination or node not in tree:
             return None
         return tree[node]
@@ -318,6 +333,31 @@ class MRC:
         trigger_neighbor: Optional[int] = None,
     ) -> RecoveryResult:
         """Forward one packet with at most one configuration switch."""
+        plan = self.plan_recovery(initiator, destination, trigger_neighbor)
+        if plan.immediate is not None:
+            return plan.immediate
+        batch = WalkBatch(self.engine)
+        handle = batch.add(plan.spec, plan.packet, plan.accounting)
+        return plan.finish(batch.execute().result(handle))
+
+    def plan_supported(self) -> bool:
+        """MRC cases always compile to one table walk.
+
+        Safe even under a chaos engine/view swap: compilation touches only
+        static state (routing table, ground-truth liveness, the
+        configurations), so deferring the walk never reorders the seeded
+        fault draws — those happen inside the walk itself, in batch
+        insertion order.
+        """
+        return True
+
+    def plan_recovery(
+        self,
+        initiator: int,
+        destination: int,
+        trigger_neighbor: Optional[int] = None,
+    ) -> "WalkPlan":
+        """Compile one MRC case into a table-walk :class:`WalkPlan`."""
         if not self.scenario.is_node_live(initiator):
             raise SimulationError(f"initiator {initiator} has failed")
         if trigger_neighbor is None:
@@ -329,7 +369,6 @@ class MRC:
 
         accounting = RecoveryAccounting()
         packet = Packet(source=initiator, destination=destination)
-        traveled = [initiator]
 
         # Pick the backup configuration for the failed element: the one
         # isolating the failed next-hop node — or, when the next hop is the
@@ -341,29 +380,35 @@ class MRC:
         else:
             config = self._config_isolating(trigger_neighbor)
         if config is None:
-            return self._dropped(accounting, traveled)
+            return WalkPlan(immediate=self._dropped(accounting, [initiator]))
 
-        current = initiator
-        max_hops = 4 * self.topo.node_count + 8
-        for _ in range(max_hops):
-            if current == destination:
+        # Degenerate delivered-on-the-spot case: skip building the tree
+        # (the historical loop never built it either).
+        table = {} if initiator == destination else config.tree(destination)
+        spec = TableWalkSpec(
+            next_hops=table,
+            destination=destination,
+            budget=table_walk_hop_budget(self.topo.node_count),
+        )
+
+        def finish(outcome) -> RecoveryResult:
+            if outcome.reached:
                 return RecoveryResult(
                     approach=APPROACH_NAME,
                     delivered=True,
-                    path=Path(tuple(traveled), float(len(traveled) - 1)),
+                    path=Path(
+                        tuple(outcome.visited), float(len(outcome.visited) - 1)
+                    ),
                     accounting=accounting,
                 )
-            nxt = config.next_hop(current, destination)
-            if nxt is None:
-                return self._dropped(accounting, traveled)
-            if not self.view.is_neighbor_reachable(current, nxt):
-                # Second failure on the backup configuration: MRC gives up
-                # (packets may switch configurations only once).
-                return self._dropped(accounting, traveled)
-            self.engine.forward_one_hop(packet, nxt, accounting)
-            traveled.append(nxt)
-            current = nxt
-        return self._dropped(accounting, traveled)
+            # Stuck, blocked (second failure on the backup configuration:
+            # MRC gives up — packets may switch configurations only once),
+            # or out of budget: all drop.
+            return self._dropped(accounting, outcome.visited)
+
+        return WalkPlan(
+            spec=spec, packet=packet, accounting=accounting, finish=finish
+        )
 
     def recover_flow(self, source: int, destination: int) -> RecoveryResult:
         """Recover the failed default path, like :meth:`RTR.recover_flow`."""

@@ -14,6 +14,13 @@ from .plan import FaultPlan, SecondaryFailure, SecondaryRepair
 from .runtime import ChaosRuntime
 from .degraded import DegradedLocalView
 from .engine import ChaosForwardingEngine
+from .lowering import (
+    NULL_STEP_MASKS,
+    NullStepMasks,
+    RuntimeStepMasks,
+    lower_walk_faults,
+    walk_context_vector_safe,
+)
 
 __all__ = [
     "FaultPlan",
@@ -22,4 +29,9 @@ __all__ = [
     "ChaosRuntime",
     "DegradedLocalView",
     "ChaosForwardingEngine",
+    "NULL_STEP_MASKS",
+    "NullStepMasks",
+    "RuntimeStepMasks",
+    "lower_walk_faults",
+    "walk_context_vector_safe",
 ]

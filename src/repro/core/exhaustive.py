@@ -31,6 +31,7 @@ from ..simulator import (
     Packet,
     RecoveryAccounting,
     RecoveryHeader,
+    walk_hop_budget,
 )
 from ..topology import Link, Topology
 from .phase1 import Phase1Result, _record_failures_at
@@ -92,7 +93,9 @@ def run_exhaustive_phase1(
             return stack.pop()
         return None  # back at the initiator with nothing left
 
-    walk = engine.walk(packet, decide, accounting, max_hops=4 * topo.link_count + 8)
+    walk = engine.walk(
+        packet, decide, accounting, max_hops=walk_hop_budget(topo.link_count)
+    )
     return Phase1Result(
         initiator=initiator,
         walk=walk,

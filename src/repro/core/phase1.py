@@ -24,6 +24,7 @@ from ..simulator import (
     Packet,
     RecoveryAccounting,
     RecoveryHeader,
+    WalkBatch,
 )
 from ..topology import Link, Topology
 from .constraints import CrossLinkState
@@ -186,9 +187,14 @@ def run_phase1(
         snapshot(current)
         return next_node
 
-    outcome = engine.walk_outcome(
+    # The sweep mutates header/constraint state every hop, so it compiles
+    # to an opaque callback spec — the plane always runs it on the
+    # reference backend.
+    batch = WalkBatch(engine)
+    handle = batch.add_callback_walk(
         packet, decide, accounting, on_overrun="raise" if strict else "truncate"
     )
+    outcome = batch.execute().result(handle)
     if strict and outcome.lost:
         raise SimulationError(
             f"phase-1 packet of {initiator} lost at {outcome.drop_node}: "

@@ -39,6 +39,7 @@ from ..simulator import (
     Packet,
     RecoveryAccounting,
     RecoveryHeader,
+    WalkBatch,
 )
 from ..topology import Link, Topology
 from .phase1 import Phase1Result
@@ -175,6 +176,56 @@ class Phase2Engine:
         return True
 
 
+def compile_phase2_delivery(phase2: Phase2Engine, destination: int):
+    """Compile the delivery attempt: ``(route, header, packet)``.
+
+    The decision half of the phase-2 walk — everything up to (but not
+    including) moving the packet.  ``route`` is ``None`` when the
+    destination is unreachable in ``G - E1`` (§II-C early discard).
+    """
+    route = phase2.recovery_path(destination)
+    if route is None:
+        return None, None, None
+    header = RecoveryHeader(
+        mode=Mode.SOURCE_ROUTED,
+        rec_init=phase2.initiator,
+        source_route=list(route.nodes),
+    )
+    packet = Packet(
+        source=phase2.initiator, destination=destination, header=header
+    )
+    return route, header, packet
+
+
+def no_route_result(phase2: Phase2Engine) -> Phase2Result:
+    """Discard at the initiator (§II-C — die early when unreachable)."""
+    return Phase2Result(
+        route=None,
+        delivered=False,
+        drop_node=phase2.initiator,
+        hops_traveled=0,
+        route_header_bytes=0,
+    )
+
+
+def phase2_result_from_outcome(
+    route: Path,
+    header: RecoveryHeader,
+    hops_before: int,
+    accounting: RecoveryAccounting,
+    outcome,
+) -> Phase2Result:
+    """Fold a walk-plane :class:`RouteOutcome` into a :class:`Phase2Result`."""
+    return Phase2Result(
+        route=route,
+        delivered=outcome.delivered,
+        drop_node=outcome.drop_node,
+        hops_traveled=accounting.hops_traveled - hops_before,
+        route_header_bytes=header.recovery_bytes(),
+        lost=outcome.lost,
+    )
+
+
 def run_phase2(
     topo: Topology,
     view: LocalView,
@@ -188,35 +239,11 @@ def run_phase2(
     Shortest-path computations are *not* counted here: the paper charges
     one calculation per test case (§IV-C), which the caller records.
     """
-    route = phase2.recovery_path(destination)
+    route, header, packet = compile_phase2_delivery(phase2, destination)
     if route is None:
-        # Destination deemed unreachable: discard at the initiator (§II-C —
-        # packets toward unreachable destinations should die early).
-        return Phase2Result(
-            route=None,
-            delivered=False,
-            drop_node=phase2.initiator,
-            hops_traveled=0,
-            route_header_bytes=0,
-        )
-
-    header = RecoveryHeader(
-        mode=Mode.SOURCE_ROUTED,
-        rec_init=phase2.initiator,
-        source_route=list(route.nodes),
-    )
-    packet = Packet(
-        source=phase2.initiator, destination=destination, header=header
-    )
+        return no_route_result(phase2)
     before = accounting.hops_traveled
-    outcome = engine.follow_source_route_outcome(
-        packet, list(route.nodes), accounting
-    )
-    return Phase2Result(
-        route=route,
-        delivered=outcome.delivered,
-        drop_node=outcome.drop_node,
-        hops_traveled=accounting.hops_traveled - before,
-        route_header_bytes=header.recovery_bytes(),
-        lost=outcome.lost,
-    )
+    batch = WalkBatch(engine)
+    handle = batch.add_route(packet, list(route.nodes), accounting)
+    outcome = batch.execute().result(handle)
+    return phase2_result_from_outcome(route, header, before, accounting, outcome)

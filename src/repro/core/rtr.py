@@ -51,10 +51,20 @@ from ..simulator import (
     ForwardingEngine,
     RecoveryAccounting,
     RecoveryResult,
+    SourceRouteSpec,
+    WalkBatch,
+    WalkPlan,
 )
 from ..topology import Link, Topology
 from .phase1 import Phase1Result, run_phase1
-from .phase2 import Phase2Engine, Phase2Result, run_phase2
+from .phase2 import (
+    Phase2Engine,
+    Phase2Result,
+    compile_phase2_delivery,
+    no_route_result,
+    phase2_result_from_outcome,
+    run_phase2,
+)
 
 APPROACH_NAME = "RTR"
 
@@ -299,6 +309,97 @@ class RTR:
         next hop toward ``destination`` — which must be unreachable,
         otherwise RTR would never have been invoked.
         """
+        if self.plan_supported():
+            plan = self.plan_recovery(initiator, destination, trigger_neighbor)
+            if plan.immediate is not None:
+                return plan.immediate
+            batch = WalkBatch(self.engine)
+            handle = batch.add(plan.spec, plan.packet, plan.accounting)
+            return plan.finish(batch.execute().result(handle))
+        return self._recover_ladder(initiator, destination, trigger_neighbor)
+
+    def plan_supported(self) -> bool:
+        """Whether cases compile to single-walk plans (:meth:`plan_recovery`).
+
+        The degraded-mode ladder is adaptive — resends and re-invocations
+        depend on each walk's outcome — so it cannot be expressed as one
+        walk spec; chaos runs (and §III-D re-invocation configs) always go
+        through :meth:`recover`'s sequential path.
+        """
+        return self.chaos is None and self.config.max_phase2_reinvocations == 0
+
+    def plan_recovery(
+        self,
+        initiator: int,
+        destination: int,
+        trigger_neighbor: Optional[int] = None,
+    ) -> WalkPlan:
+        """Compile one recovery test case into a :class:`WalkPlan`.
+
+        The decision half of :meth:`recover`: phase 1 (cached per
+        initiator), the phase-2 route computation, and the §IV accounting
+        seed all happen here; the returned plan carries either the finished
+        result or the delivery walk for a :class:`WalkBatch` to execute.
+        Only valid when :meth:`plan_supported` is true.
+        """
+        trigger_neighbor, immediate = self._check_case(
+            initiator, destination, trigger_neighbor
+        )
+        if immediate is not None:
+            return WalkPlan(immediate=immediate)
+
+        phase1 = self.phase1_for(initiator, trigger_neighbor)
+        phase2 = self.phase2_for(initiator, trigger_neighbor)
+        accounting = self._seed_case_accounting(phase1)
+
+        if not phase1.complete:
+            return WalkPlan(
+                immediate=self._incomplete_result(
+                    initiator, destination, phase1, accounting
+                )
+            )
+
+        with obs.span("rtr.phase2", destination=destination):
+            route, header, packet = compile_phase2_delivery(phase2, destination)
+        if route is None:
+            obs.inc("rtr.phase2.attempts")
+            return WalkPlan(
+                immediate=self._finish_phase2(
+                    initiator, destination, phase1, accounting,
+                    no_route_result(phase2),
+                )
+            )
+
+        hops_before = accounting.hops_traveled
+
+        def finish(walk_outcome) -> RecoveryResult:
+            obs.inc("rtr.phase2.attempts")
+            if walk_outcome.delivered:
+                obs.inc("rtr.phase2.delivered")
+            outcome = phase2_result_from_outcome(
+                route, header, hops_before, accounting, walk_outcome
+            )
+            return self._finish_phase2(
+                initiator, destination, phase1, accounting, outcome
+            )
+
+        return WalkPlan(
+            spec=SourceRouteSpec(route=list(route.nodes)),
+            packet=packet,
+            accounting=accounting,
+            finish=finish,
+        )
+
+    def _check_case(
+        self,
+        initiator: int,
+        destination: int,
+        trigger_neighbor: Optional[int],
+    ):
+        """Validate one test case; resolve the trigger neighbor.
+
+        Returns ``(trigger_neighbor, immediate_result_or_None)``.
+        """
         if not self.scenario.is_node_live(initiator):
             raise SimulationError(f"recovery initiator {initiator} has failed")
         if trigger_neighbor is None:
@@ -315,7 +416,7 @@ class RTR:
                 # missed it (or hasn't fired yet): it keeps black-holing
                 # traffic into the dead next hop until IGP convergence
                 # repairs its table.
-                return self._fallback_result(
+                return trigger_neighbor, self._fallback_result(
                     initiator,
                     destination,
                     RecoveryAccounting(),
@@ -326,54 +427,97 @@ class RTR:
                 f"default next hop {trigger_neighbor} of {initiator} is still "
                 f"reachable; RTR is only invoked on failure (§II-B)"
             )
+        return trigger_neighbor, None
 
-        phase1 = self.phase1_for(initiator, trigger_neighbor)
-        phase2 = self.phase2_for(initiator, trigger_neighbor)
-
-        # Per-test-case accounting (§IV): the walk is attributed to every
-        # test case of this initiator, and each case counts one SP
-        # calculation regardless of tree caching.
+    @staticmethod
+    def _seed_case_accounting(phase1: Phase1Result) -> RecoveryAccounting:
+        """Per-test-case accounting (§IV): the walk is attributed to every
+        test case of this initiator, and each case counts one SP
+        calculation regardless of tree caching."""
         accounting = RecoveryAccounting()
         accounting.clock = phase1.duration
         accounting.hops_traveled = phase1.hops
         accounting.header_timeline = list(phase1.header_timeline)
         accounting.retransmissions = phase1.retries
         accounting.count_sp(1)
+        return accounting
 
-        if not phase1.complete:
-            # Every retransmission died; the initiator has no failure
-            # information and refuses to guess a route (§II-C early
-            # discard), or hands off to reconvergence when allowed.
-            if self.config.fallback_to_reconvergence:
-                return self._fallback_result(
-                    initiator,
-                    destination,
-                    accounting,
-                    phase1_duration=phase1.duration,
-                    phase1_hops=phase1.hops,
-                )
-            return RecoveryResult(
-                approach=APPROACH_NAME,
-                delivered=False,
-                path=None,
-                accounting=accounting,
+    def _incomplete_result(
+        self,
+        initiator: int,
+        destination: int,
+        phase1: Phase1Result,
+        accounting: RecoveryAccounting,
+    ) -> RecoveryResult:
+        """Every retransmission died; the initiator has no failure
+        information and refuses to guess a route (§II-C early discard), or
+        hands off to reconvergence when allowed."""
+        if self.config.fallback_to_reconvergence:
+            return self._fallback_result(
+                initiator,
+                destination,
+                accounting,
                 phase1_duration=phase1.duration,
                 phase1_hops=phase1.hops,
-                drop_hops=0,
-                drop_packet_bytes=DEFAULT_PAYLOAD_BYTES
-                + _phase1_final_header_bytes(phase1),
-                retries=accounting.retransmissions,
+            )
+        return RecoveryResult(
+            approach=APPROACH_NAME,
+            delivered=False,
+            path=None,
+            accounting=accounting,
+            phase1_duration=phase1.duration,
+            phase1_hops=phase1.hops,
+            drop_hops=0,
+            drop_packet_bytes=DEFAULT_PAYLOAD_BYTES
+            + _phase1_final_header_bytes(phase1),
+            retries=accounting.retransmissions,
+        )
+
+    def _recover_ladder(
+        self,
+        initiator: int,
+        destination: int,
+        trigger_neighbor: Optional[int],
+    ) -> RecoveryResult:
+        """The sequential path: per-walk outcomes steer resends/re-invocations."""
+        trigger_neighbor, immediate = self._check_case(
+            initiator, destination, trigger_neighbor
+        )
+        if immediate is not None:
+            return immediate
+
+        phase1 = self.phase1_for(initiator, trigger_neighbor)
+        phase2 = self.phase2_for(initiator, trigger_neighbor)
+        accounting = self._seed_case_accounting(phase1)
+
+        if not phase1.complete:
+            return self._incomplete_result(
+                initiator, destination, phase1, accounting
             )
 
         outcome = self._phase2_ladder(phase2, destination, accounting)
+        return self._finish_phase2(
+            initiator, destination, phase1, accounting, outcome
+        )
 
-        # Wasted transmission (§IV-D): ``h`` is the hops from the recovery
-        # initiator to the node discarding the packet.  The phase-1 walk is
-        # not waste — it is the (separately accounted) transmission overhead
-        # that produces the failure information — so RTR wastes hops only
-        # when phase 2 computed a route that turned out to contain a missed
-        # failure.  When no route exists, packets die at the initiator
-        # itself (h = 0), which is exactly the early discard of §II-C.
+    def _finish_phase2(
+        self,
+        initiator: int,
+        destination: int,
+        phase1: Phase1Result,
+        accounting: RecoveryAccounting,
+        outcome: Phase2Result,
+    ) -> RecoveryResult:
+        """Fold a phase-2 outcome into the final per-case result.
+
+        Wasted transmission (§IV-D): ``h`` is the hops from the recovery
+        initiator to the node discarding the packet.  The phase-1 walk is
+        not waste — it is the (separately accounted) transmission overhead
+        that produces the failure information — so RTR wastes hops only
+        when phase 2 computed a route that turned out to contain a missed
+        failure.  When no route exists, packets die at the initiator
+        itself (h = 0), which is exactly the early discard of §II-C.
+        """
         if outcome.delivered:
             drop_hops = 0
             drop_bytes = 0

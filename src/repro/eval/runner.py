@@ -28,7 +28,7 @@ from ..chaos import FaultPlan
 from ..core import RTRConfig
 from ..routing import RoutingTable, SPTCache
 from ..schemes import SchemeInstance, build_schemes, validate_names
-from ..simulator import RecoveryAccounting, RecoveryResult
+from ..simulator import RecoveryAccounting, RecoveryResult, WalkBatch
 from ..topology import Topology
 from .cases import CaseSet, TestCase
 from .metrics import CaseRecord
@@ -105,17 +105,71 @@ class EvaluationRunner:
         """Run every case under every approach.
 
         Returns ``approach -> [CaseRecord]`` with records in case order.
+
+        Within one convergence window, schemes that compile cases into
+        walk plans (:meth:`~repro.schemes.SchemeInstance.can_plan`) have
+        all their walks executed through one :class:`WalkBatch` — the
+        vectorized backend then advances the whole window's packets
+        together.  Everything else runs the classic per-case loop.
         """
         records: Dict[str, List[CaseRecord]] = {a: [] for a in self.approaches}
         for scenario_index, cases in sorted(case_set.by_scenario().items()):
             instances = self._instances(scenario_index, case_set)
             for case in cases:
                 obs.inc("eval.cases")
-                for name in self.approaches:
-                    obs.inc(self._case_counters[name])
-                    result = self._recover_one(instances[name], name, case)
-                    records[name].append(CaseRecord(case=case, result=result))
+            for name in self.approaches:
+                instance = instances[name]
+                counter = self._case_counters[name]
+                if instance.can_plan():
+                    results = self._run_batched(instance, name, cases, counter)
+                else:
+                    results = []
+                    for case in cases:
+                        obs.inc(counter)
+                        results.append(self._recover_one(instance, name, case))
+                records[name].extend(
+                    CaseRecord(case=case, result=result)
+                    for case, result in zip(cases, results)
+                )
         return records
+
+    def _run_batched(
+        self,
+        instance: SchemeInstance,
+        name: str,
+        cases: Sequence[TestCase],
+        counter: str,
+    ) -> List[RecoveryResult]:
+        """Compile every case to a plan, run all walks in one batch."""
+        batch = WalkBatch(instance.walk_engine())
+        pending: List[object] = []
+        for case in cases:
+            obs.inc(counter)
+            try:
+                plan = instance.plan(case)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                if not self.isolate_errors:
+                    raise
+                pending.append(self._error_result(name, case, exc))
+                continue
+            if plan.immediate is not None:
+                pending.append(plan.immediate)
+            else:
+                pending.append((plan, batch.add(plan.spec, plan.packet, plan.accounting)))
+        batch.execute()
+        results: List[RecoveryResult] = []
+        for case, entry in zip(cases, pending):
+            if not isinstance(entry, tuple):
+                results.append(entry)
+                continue
+            plan, handle = entry
+            try:
+                results.append(plan.finish(batch.result(handle)))
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                if not self.isolate_errors:
+                    raise
+                results.append(self._error_result(name, case, exc))
+        return results
 
     def _recover_one(
         self, instance: SchemeInstance, name: str, case: TestCase
@@ -126,23 +180,29 @@ class EvaluationRunner:
         try:
             return instance.recover(case)
         except Exception as exc:  # noqa: BLE001 — isolation is the point
-            obs.inc("eval.errors")
-            log.warning(
-                "%s crashed on case %s -> %s (trigger %s): %s: %s",
-                name,
-                case.initiator,
-                case.destination,
-                case.trigger,
-                type(exc).__name__,
-                exc,
-            )
-            return RecoveryResult(
-                approach=name,
-                delivered=False,
-                path=None,
-                accounting=RecoveryAccounting(),
-                error=f"{type(exc).__name__}: {exc}",
-            )
+            return self._error_result(name, case, exc)
+
+    def _error_result(
+        self, name: str, case: TestCase, exc: Exception
+    ) -> RecoveryResult:
+        """Record one isolated per-case crash as an ``error`` result."""
+        obs.inc("eval.errors")
+        log.warning(
+            "%s crashed on case %s -> %s (trigger %s): %s: %s",
+            name,
+            case.initiator,
+            case.destination,
+            case.trigger,
+            type(exc).__name__,
+            exc,
+        )
+        return RecoveryResult(
+            approach=name,
+            delivered=False,
+            path=None,
+            accounting=RecoveryAccounting(),
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     def run_cases(
         self, case_set: CaseSet, cases: Sequence[TestCase]

@@ -62,6 +62,39 @@ class SchemeInstance:
             case.initiator, case.destination, case.trigger
         )
 
+    def can_plan(self) -> bool:
+        """Whether :meth:`plan` may replace :meth:`recover` for this window.
+
+        True when the protocol compiles cases into walk plans
+        (``plan_recovery``) and its optional ``plan_supported()`` gate —
+        schemes pin themselves to the sequential path under chaos or
+        adaptive configs — currently holds.
+        """
+        protocol = self.protocol
+        cls = type(protocol)
+        if getattr(cls, "plan_recovery", None) is None:
+            return False
+        # A subclass overriding recover() without re-deriving plan_recovery
+        # has custom per-case behaviour the plans would silently bypass —
+        # such protocols stay on the sequential path.
+        for klass in cls.__mro__:
+            if "plan_recovery" in klass.__dict__:
+                break
+            if "recover" in klass.__dict__:
+                return False
+        gate = getattr(protocol, "plan_supported", None)
+        return bool(gate()) if gate is not None else True
+
+    def plan(self, case: "TestCase"):
+        """Compile ``case`` into a :class:`~repro.simulator.WalkPlan`."""
+        return self.protocol.plan_recovery(  # type: ignore[attr-defined]
+            case.initiator, case.destination, case.trigger
+        )
+
+    def walk_engine(self):
+        """The forwarding engine batched walks of this instance run on."""
+        return getattr(self.protocol, "engine", None)
+
     def degrade(self, plan: "FaultPlan", runtime: "ChaosRuntime") -> bool:
         """Swap this instance's world for a fault-injected one.
 

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Optional
 from ..baselines import Oracle
 from ..errors import SimulationError
 from ..routing import SPTCache
-from ..simulator import RecoveryAccounting, RecoveryResult
+from ..simulator import RecoveryAccounting, RecoveryResult, WalkPlan
 from .base import RecoveryScheme, SchemeInstance
 from .registry import register_scheme
 
@@ -40,6 +40,14 @@ class _OracleProtocol:
             delivered=path is not None,
             path=path,
             accounting=accounting,
+        )
+
+    def plan_recovery(
+        self, initiator: int, destination: int, trigger_neighbor: int
+    ) -> WalkPlan:
+        """Walk-free scheme: the whole case resolves at compile time."""
+        return WalkPlan(
+            immediate=self.recover(initiator, destination, trigger_neighbor)
         )
 
 

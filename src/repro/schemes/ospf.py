@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Optional
 from ..baselines import Oracle
 from ..errors import SimulationError
 from ..routing import LinkStateProtocol
-from ..simulator import RecoveryAccounting, RecoveryResult
+from ..simulator import RecoveryAccounting, RecoveryResult, WalkPlan
 from .base import RecoveryScheme, SchemeInstance
 from .registry import register_scheme
 
@@ -52,6 +52,14 @@ class _OSPFProtocol:
             # IGP converges is lost, which is the paper's Fig. 2 motivation
             # for reacting faster than reconvergence.
             phase1_duration=self.converged_at,
+        )
+
+    def plan_recovery(
+        self, initiator: int, destination: int, trigger_neighbor: int
+    ) -> WalkPlan:
+        """Walk-free scheme: the whole case resolves at compile time."""
+        return WalkPlan(
+            immediate=self.recover(initiator, destination, trigger_neighbor)
         )
 
 

@@ -25,6 +25,31 @@ from .engine import (
     RouteOutcome,
     WalkOutcome,
 )
+from .budget import (
+    HOP_BUDGET_FACTOR,
+    HOP_BUDGET_SLACK,
+    table_walk_hop_budget,
+    walk_hop_budget,
+)
+from .walkspec import (
+    CallbackWalkSpec,
+    SourceRouteSpec,
+    TableWalkOutcome,
+    TableWalkSpec,
+    WalkPlan,
+)
+
+# batch pulls in topology.npcsr and (lazily) chaos.lowering; import it last
+# so the engine/spec layers above never see a partially-initialized package.
+from .batch import (
+    AUTO_MIN_WALK_BATCH,
+    WALK_ENV,
+    WalkBatch,
+    batched_walk_count,
+    numpy_walks_available,
+    run_table_walk,
+    walk_mode,
+)
 
 __all__ = [
     "BYTES_PER_ID",
@@ -50,4 +75,20 @@ __all__ = [
     "NextHopFn",
     "RouteOutcome",
     "WalkOutcome",
+    "HOP_BUDGET_FACTOR",
+    "HOP_BUDGET_SLACK",
+    "table_walk_hop_budget",
+    "walk_hop_budget",
+    "CallbackWalkSpec",
+    "SourceRouteSpec",
+    "TableWalkOutcome",
+    "TableWalkSpec",
+    "WalkPlan",
+    "AUTO_MIN_WALK_BATCH",
+    "WALK_ENV",
+    "WalkBatch",
+    "batched_walk_count",
+    "numpy_walks_available",
+    "run_table_walk",
+    "walk_mode",
 ]

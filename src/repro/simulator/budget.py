@@ -1,0 +1,31 @@
+"""The walk hop budget — one formula, every walk caller.
+
+Theorem 1 bounds a correct phase-1 walk by twice the link count (each
+link is traversed at most once per direction), so exceeding four times
+the link count is an implementation error, not a long walk.  The same
+factor-four-plus-slack shape guards table-driven walks, which visit each
+*node* at most once per configuration and are bounded in node count.
+
+Before this module the ``4 * x + 8`` formula was duplicated across
+``core/exhaustive.py``, the engine default in ``simulator/engine.py``,
+and the MRC walk loop; the regression test in
+``tests/simulator/test_budget.py`` pins every caller to these helpers.
+"""
+
+from __future__ import annotations
+
+#: Safety factor over the theoretical walk bound.
+HOP_BUDGET_FACTOR = 4
+
+#: Fixed slack so degenerate tiny topologies still get a usable budget.
+HOP_BUDGET_SLACK = 8
+
+
+def walk_hop_budget(link_count: int) -> int:
+    """Hop budget of a link-bounded walk (phase-1 sweeps, DFS collectors)."""
+    return HOP_BUDGET_FACTOR * link_count + HOP_BUDGET_SLACK
+
+
+def table_walk_hop_budget(node_count: int) -> int:
+    """Hop budget of a node-bounded table walk (MRC configuration paths)."""
+    return HOP_BUDGET_FACTOR * node_count + HOP_BUDGET_SLACK

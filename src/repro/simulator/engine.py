@@ -23,6 +23,7 @@ from .. import obs
 from ..errors import ForwardingLoopError, SimulationError
 from ..failures import LocalView
 from ..topology import Link, Topology
+from .budget import walk_hop_budget
 from .delays import DEFAULT_DELAY_MODEL, DelayModel
 from .packet import Packet
 from .stats import RecoveryAccounting
@@ -128,7 +129,8 @@ class ForwardingEngine:
     ) -> WalkOutcome:
         """Drive ``packet`` until ``decide`` returns ``None``.
 
-        The hop budget defaults to ``4 * link_count + 8``: Theorem 1 bounds
+        The hop budget defaults to ``walk_hop_budget(link_count)``
+        (:mod:`repro.simulator.budget`): Theorem 1 bounds
         a correct phase-1 walk by twice the links (each traversed at most
         once per direction), so exceeding four times is an implementation
         error.  ``on_overrun`` selects what an exhausted budget means:
@@ -138,9 +140,12 @@ class ForwardingEngine:
         ``truncated=True`` so degraded-mode callers can retry or fall back
         instead of aborting a whole experiment sweep.
         """
+        obs.inc("simulator.walks.fallback")
         if on_overrun not in ("raise", "truncate"):
             raise ValueError(f"unknown on_overrun mode {on_overrun!r}")
-        budget = max_hops if max_hops is not None else 4 * self.topo.link_count + 8
+        budget = (
+            max_hops if max_hops is not None else walk_hop_budget(self.topo.link_count)
+        )
         visited = [packet.at]
         for _ in range(budget):
             next_node = decide(packet.at, packet)
@@ -210,6 +215,7 @@ class ForwardingEngine:
         a chaos-injected loss is reported with ``lost=True`` so callers
         can retransmit instead of learning a phantom failure.
         """
+        obs.inc("simulator.walks.fallback")
         if not route:
             raise SimulationError(
                 f"source route is empty: packet {packet.packet_id} at "

@@ -54,6 +54,9 @@ from ..simulator import (
     RecoveryAccounting,
     RecoveryHeader,
     RecoveryResult,
+    SourceRouteSpec,
+    WalkBatch,
+    WalkPlan,
 )
 from ..topology import Link, Topology
 from .penalty import (
@@ -170,6 +173,26 @@ class _R3Protocol:
     def recover(
         self, initiator: int, destination: int, trigger_neighbor: int
     ) -> RecoveryResult:
+        plan = self.plan_recovery(initiator, destination, trigger_neighbor)
+        if plan.immediate is not None:
+            return plan.immediate
+        batch = WalkBatch(self.engine)
+        handle = batch.add(plan.spec, plan.packet, plan.accounting)
+        return plan.finish(batch.execute().result(handle))
+
+    def plan_supported(self) -> bool:
+        """Splicing consults the local view, so plans may only be deferred
+        on the pristine world: a degraded view's answers depend on the
+        shared hop clock, which other batched walks advance."""
+        return (
+            type(self.engine) is ForwardingEngine
+            and type(self.view) is LocalView
+        )
+
+    def plan_recovery(
+        self, initiator: int, destination: int, trigger_neighbor: int
+    ) -> WalkPlan:
+        """Compile one case: splice precomputed protection, emit the route."""
         if not self.scenario.is_node_live(initiator):
             raise SimulationError(f"recovery initiator {initiator} has failed")
         accounting = RecoveryAccounting()
@@ -185,11 +208,13 @@ class _R3Protocol:
             # No protection covers this failure pattern: the packet is
             # discarded at the initiator (early discard, zero waste).
             obs.inc("r3.unprotected")
-            return RecoveryResult(
-                approach=R3Scheme.name,
-                delivered=False,
-                path=None,
-                accounting=accounting,
+            return WalkPlan(
+                immediate=RecoveryResult(
+                    approach=R3Scheme.name,
+                    delivered=False,
+                    path=None,
+                    accounting=accounting,
+                )
             )
         nodes = _strip_loops(expanded)
         route = recost_path(self.topo, Path(tuple(nodes), 0.0))
@@ -201,19 +226,27 @@ class _R3Protocol:
         packet = Packet(
             source=initiator, destination=destination, header=header
         )
-        outcome = self.engine.follow_source_route_outcome(
-            packet, list(nodes), accounting
-        )
-        obs.inc("r3.reconfigurations")
-        if outcome.delivered:
-            obs.inc("r3.delivered")
-        return RecoveryResult(
-            approach=R3Scheme.name,
-            delivered=outcome.delivered,
-            path=route if outcome.delivered else None,
+
+        def finish(outcome) -> RecoveryResult:
+            obs.inc("r3.reconfigurations")
+            if outcome.delivered:
+                obs.inc("r3.delivered")
+            return RecoveryResult(
+                approach=R3Scheme.name,
+                delivered=outcome.delivered,
+                path=route if outcome.delivered else None,
+                accounting=accounting,
+                drop_hops=0 if outcome.delivered else accounting.hops_traveled,
+                drop_packet_bytes=0
+                if outcome.delivered
+                else header.recovery_bytes(),
+            )
+
+        return WalkPlan(
+            spec=SourceRouteSpec(route=list(nodes)),
+            packet=packet,
             accounting=accounting,
-            drop_hops=0 if outcome.delivered else accounting.hops_traveled,
-            drop_packet_bytes=0 if outcome.delivered else header.recovery_bytes(),
+            finish=finish,
         )
 
 

@@ -268,6 +268,9 @@ class TrafficEngine:
                     scenario, cases, groups, classification
                 )
             else:
+                # One convergence window per scenario: planning schemes
+                # have the whole window's walks executed through a single
+                # WalkBatch inside the runner (DESIGN.md §15).
                 records = self.runner.run(case_set)
             out: Dict[str, TrafficScenarioRecord] = {}
             for approach in self.approaches:
@@ -314,6 +317,10 @@ class TrafficEngine:
         initiator's own previous recoveries.  State is per-scenario (the
         map starts from intact loads), which keeps serial and sharded
         sweeps identical.
+
+        This path never batches walks: each case's route depends on the
+        loads of every earlier delivery, so compiling a window of plans
+        up front would read stale penalties.
         """
         config = self.rtr_config if self.rtr_config is not None else RTRConfig()
         for _ in cases:

@@ -31,7 +31,7 @@ class TestErrorIsolation:
         from repro.core import rtr as rtr_module
 
         calls = {"n": 0}
-        original = rtr_module.RTR.recover
+        original = rtr_module.RTR.plan_recovery
 
         def flaky(self, initiator, destination, trigger_neighbor=None):
             calls["n"] += 1
@@ -39,7 +39,9 @@ class TestErrorIsolation:
                 raise RuntimeError("synthetic per-case crash")
             return original(self, initiator, destination, trigger_neighbor)
 
-        monkeypatch.setattr(rtr_module.RTR, "recover", flaky)
+        # Patch the plan-compile path (what the batched runner drives);
+        # recover() funnels through it too, so both paths are covered.
+        monkeypatch.setattr(rtr_module.RTR, "plan_recovery", flaky)
         runner = EvaluationRunner(topo, routing=case_set.routing, approaches=("RTR",))
         records = runner.run(case_set)["RTR"]
         # The sweep survived the crash and every case produced a record.
@@ -55,7 +57,7 @@ class TestErrorIsolation:
         def always_crash(self, *args, **kwargs):
             raise RuntimeError("boom")
 
-        monkeypatch.setattr(rtr_module.RTR, "recover", always_crash)
+        monkeypatch.setattr(rtr_module.RTR, "plan_recovery", always_crash)
         runner = EvaluationRunner(
             topo, routing=case_set.routing, approaches=("RTR",), isolate_errors=False
         )

@@ -1,0 +1,128 @@
+"""Walk-plane backend parity: the ISSUE's bit-identity property suite.
+
+Random topologies x every registered scheme x chaos on/off, swept through
+both ``REPRO_WALK`` backends — the full result streams must be
+bit-identical (floats compared via ``float.hex``).  Plus the golden
+Table III/IV snapshot byte-parity under ``REPRO_WALK=numpy``.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos import FaultPlan, SecondaryFailure
+from repro.eval import EvaluationRunner, generate_cases
+from repro.schemes import scheme_names
+from repro.simulator import batched_walk_count, numpy_walks_available
+from repro.topology.generators import geometric_isp
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_walks_available(), reason="numpy not importable"
+)
+
+ALL_SCHEMES = scheme_names()
+
+#: (nodes, links, topology seed) for the random-topology sweep — small
+#: enough to keep the matrix fast, dense enough for alternate paths.
+RANDOM_TOPOLOGIES = [(24, 40, 11), (40, 64, 23)]
+
+CHAOS_PLANS = {
+    "clean": None,
+    "chaos": FaultPlan(
+        seed=42,
+        packet_loss_rate=0.08,
+        secondary_failures=(SecondaryFailure(at_hop=4),),
+    ),
+}
+
+
+def _hex(value):
+    return float(value).hex()
+
+
+def fingerprint(record):
+    """Every observable bit of one CaseRecord, floats by hex."""
+    result = record.result
+    acc = result.accounting
+    return (
+        (record.case.initiator, record.case.destination, record.case.trigger),
+        result.approach,
+        result.status,
+        result.delivered,
+        None if result.path is None else tuple(result.path.nodes),
+        None if result.path is None else _hex(result.path.cost),
+        acc.sp_computations,
+        acc.hops_traveled,
+        _hex(acc.clock),
+        tuple((_hex(t), b) for t, b in acc.header_timeline),
+        acc.retransmissions,
+        _hex(result.phase1_duration),
+        result.phase1_hops,
+        result.drop_hops,
+        result.drop_packet_bytes,
+        result.fallback,
+        result.retries,
+        result.error,
+    )
+
+
+def sweep(topo, case_set, fault_plan, mode, monkeypatch):
+    monkeypatch.setenv("REPRO_WALK", mode)
+    runner = EvaluationRunner(
+        topo,
+        routing=case_set.routing,
+        approaches=ALL_SCHEMES,
+        fault_plan=fault_plan,
+    )
+    records = runner.run(case_set)
+    return {
+        name: [fingerprint(r) for r in records[name]] for name in ALL_SCHEMES
+    }
+
+
+@needs_numpy
+@pytest.mark.parametrize("chaos", sorted(CHAOS_PLANS))
+@pytest.mark.parametrize("nodes,links,seed", RANDOM_TOPOLOGIES)
+def test_backends_bit_identical_across_schemes(
+    nodes, links, seed, chaos, monkeypatch
+):
+    topo = geometric_isp(nodes, links, random.Random(seed), name=f"rand{seed}")
+    case_set = generate_cases(topo, random.Random(seed + 1), 24, 6)
+    plan = CHAOS_PLANS[chaos]
+    before = batched_walk_count()
+    ref = sweep(topo, case_set, plan, "python", monkeypatch)
+    assert batched_walk_count() == before  # python mode never vectorizes
+    vec = sweep(topo, case_set, plan, "numpy", monkeypatch)
+    for name in ALL_SCHEMES:
+        assert vec[name] == ref[name], f"{name} diverged under REPRO_WALK=numpy"
+    if plan is None:
+        # The clean sweep must actually exercise the vector backend —
+        # otherwise this parity test silently tests nothing.
+        assert batched_walk_count() > before
+
+
+@needs_numpy
+def test_auto_matches_python_on_large_window(monkeypatch):
+    topo = geometric_isp(32, 52, random.Random(5), name="rand5")
+    case_set = generate_cases(topo, random.Random(6), 32, 2)
+    ref = sweep(topo, case_set, None, "python", monkeypatch)
+    auto = sweep(topo, case_set, None, "auto", monkeypatch)
+    assert auto == ref
+
+
+@needs_numpy
+def test_golden_snapshot_byte_parity_under_numpy(monkeypatch):
+    """Table III/IV + Fig. 7 golden sweep, byte-identical when vectorized."""
+    import json
+
+    from repro.eval.golden import compute_snapshot, diff_against_golden, load_snapshot
+
+    monkeypatch.setenv("REPRO_WALK", "numpy")
+    assert diff_against_golden() == {}
+    # Byte-level, not just structural: identical canonical JSON.
+    monkeypatch.setenv("REPRO_WALK", "python")
+    py = json.dumps(compute_snapshot(), sort_keys=True).encode()
+    monkeypatch.setenv("REPRO_WALK", "numpy")
+    np_bytes = json.dumps(compute_snapshot(), sort_keys=True).encode()
+    assert np_bytes == py
+    assert json.loads(py)["table3"].keys() == load_snapshot()["table3"].keys()
